@@ -1,0 +1,19 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (the experiments measure
+*simulated* time internally; wall-clock repetition adds nothing), prints
+the reproduced table, and asserts the paper's qualitative shape criteria
+listed in DESIGN.md §4.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment a single time under pytest-benchmark."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,62 @@
+"""Ablations of the framework's design choices (DESIGN.md §5).
+
+These are not paper experiments; they isolate each IndeXY mechanism's
+contribution on the ART-LSM configuration.
+"""
+
+from repro.bench.ablations import (
+    ablation_checkback,
+    ablation_precleaning,
+    ablation_readcache,
+    ablation_release_policy,
+    ablation_watermarks,
+)
+
+
+def test_ablation_release_policy(once):
+    result = once(ablation_release_policy)
+    print("\n" + result["table"])
+    res = result["results"]
+    # Density-based selection (Algorithm 1) retains the hot set better
+    # than blind eviction.
+    assert res["density"]["x_hit_ratio"] > res["random"]["x_hit_ratio"]
+    assert res["density"]["kops"] >= res["random"]["kops"] * 0.95
+
+
+def test_ablation_precleaning(once):
+    result = once(ablation_precleaning)
+    print("\n" + result["table"])
+    res = result["results"]
+    # Pre-cleaning produces clean subtrees that release for free.  (Its
+    # lock-latency benefit is outside the simulated-throughput model, so
+    # raw KOPS may not improve; the mechanism's effect must be visible.)
+    assert res["on"]["clean_drops"] > res["off"]["clean_drops"]
+    assert res["on"]["release_keys_written"] < res["off"]["release_keys_written"]
+
+
+def test_ablation_checkback(once):
+    result = once(ablation_checkback)
+    print("\n" + result["table"])
+    res = result["results"]
+    # Skipping insert-hot regions lets repeated updates coalesce in X:
+    # fewer keys ever reach Y.
+    assert res["on"]["keys_written_to_y"] < res["off"]["keys_written_to_y"]
+
+
+def test_ablation_watermarks(once):
+    result = once(ablation_watermarks)
+    print("\n" + result["table"])
+    res = result["results"]
+    wide = res["wide (0.80)"]
+    narrow = res["narrow (0.94)"]
+    # Hysteresis suppresses release thrash by an order of magnitude.
+    assert narrow["release_cycles"] > 4 * wide["release_cycles"]
+
+
+def test_ablation_readcache(once):
+    result = once(ablation_readcache)
+    print("\n" + result["table"])
+    res = result["results"]
+    # Index X as the read cache is what makes skewed reads fast.
+    assert res["on"]["kops"] > 1.1 * res["off"]["kops"]
+    assert res["on"]["x_hit_ratio"] > 2 * res["off"]["x_hit_ratio"]

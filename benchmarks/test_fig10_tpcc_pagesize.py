@@ -1,0 +1,20 @@
+"""Figure 10: TPC-C on-disk-phase throughput by page size.
+
+Shape criterion — the paper's "surprising" result: both page-based
+systems get *faster* with larger pages under TPC-C's locally-sequential /
+globally-random orderline inserts, because a larger leaf more often stays
+resident with spare space and absorbs the next order's lines without any
+disk I/O (the opposite of the random-insert Table II trend for B+-B+).
+"""
+
+from repro.bench.tpcc_experiments import fig10_tpcc_pagesize
+
+
+def test_fig10_tpcc_pagesize(once):
+    result = once(fig10_tpcc_pagesize, 7_000)
+    print("\n" + result["table"])
+    ktps = result["ktps"]
+    for backend in ("ART-B+", "B+-B+"):
+        assert ktps[backend]["16384"] > ktps[backend]["4096"], backend
+    # The paper sees roughly a doubling per page-size doubling for B+-B+.
+    assert ktps["B+-B+"]["16384"] > 1.5 * ktps["B+-B+"]["4096"]

@@ -1,0 +1,28 @@
+"""Figure 11: in-memory vs. on-disk TPC-C scaling plus disk I/O.
+
+Shape criteria: in-memory throughput scales with threads while on-disk
+throughput stays flat; during the disk-bound phase ART-LSM sustains the
+highest disk throughput (most sequential writes), ART-B+ next, B+-B+
+lowest.
+"""
+
+from repro.bench.tpcc_experiments import fig11_scaling
+
+
+def test_fig11_scaling(once):
+    result = once(fig11_scaling)
+    print("\n" + result["table"])
+    res = result["results"]
+
+    for backend in ("ART-LSM", "ART-B+", "B+-B+"):
+        in2 = res[backend]["2"]["in_memory_ktps"]
+        in16 = res[backend]["16"]["in_memory_ktps"]
+        on2 = res[backend]["2"]["on_disk_ktps"]
+        on16 = res[backend]["16"]["on_disk_ktps"]
+        assert in16 > 3 * in2, backend  # in-memory scales
+        assert on16 < 2 * on2, backend  # on-disk does not
+
+    # Disk throughput ordering during the on-disk phase (paper Figure 11):
+    # the more sequential the writes, the higher the achieved MB/s.
+    disk = {b: res[b]["8"]["disk_mb_per_s"] for b in res}
+    assert disk["ART-LSM"] > disk["B+-B+"]

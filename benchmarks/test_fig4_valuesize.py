@@ -1,0 +1,26 @@
+"""Figure 4: insert data throughput (MB/s) by value size.
+
+Shape criteria: every system moves more data per second with larger
+values; B+-B+ gains the most (fewer nodes per split, less amplification);
+ART-LSM and RocksDB gain more modestly and stay close to each other
+(both funnel writes through the same LSM machinery).
+"""
+
+from repro.bench.experiments import fig4_valuesize
+
+
+def test_fig4_valuesize(once):
+    result = once(fig4_valuesize)
+    print("\n" + result["table"])
+    mbs = result["mb_per_s"]
+    # B+-B+ has the largest relative gain from 64B to 1KB values.
+    gain_bb = mbs["B+-B+"]["1024"] / mbs["B+-B+"]["64"]
+    gain_lsm = mbs["ART-LSM"]["1024"] / mbs["ART-LSM"]["64"]
+    assert gain_bb > gain_lsm
+    assert gain_bb > 2.0
+    # All systems improve from the smallest to the largest value size.
+    for name, series in mbs.items():
+        assert series["1024"] > series["8"] * 0.5  # no collapse
+    # ART-LSM stays ahead of B+-B+ at every value size.
+    for v in ("8", "64", "256", "1024"):
+        assert mbs["ART-LSM"][v] > mbs["B+-B+"][v]

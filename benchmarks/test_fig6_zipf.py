@@ -1,0 +1,25 @@
+"""Figure 6: read throughput by Zipfian skewness.
+
+Shape criteria: ART-X systems convert growing skew into growing
+throughput (key-granularity caching captures the hot set); B+-B+ barely
+benefits even at S=0.99 (page-granularity caching); all systems order
+ART > B+-B+ > RocksDB at high skew.
+"""
+
+from repro.bench.experiments import fig6_zipf
+
+
+def test_fig6_zipf(once):
+    result = once(fig6_zipf)
+    print("\n" + result["table"])
+    kops = result["kops"]
+    # ART systems gain strongly from skew.
+    assert kops["ART-LSM"]["0.99"] > 2 * kops["ART-LSM"]["0.5"]
+    assert kops["ART-B+"]["0.99"] > 2 * kops["ART-B+"]["0.5"]
+    # B+-B+ gains far less: its page-granular cache cannot hold the hot
+    # keys even at extreme skew.
+    gain_bb = kops["B+-B+"]["0.99"] / kops["B+-B+"]["0.5"]
+    gain_art = kops["ART-LSM"]["0.99"] / kops["ART-LSM"]["0.5"]
+    assert gain_art > gain_bb
+    # At high skew the ART systems dominate.
+    assert kops["ART-LSM"]["0.9"] > 1.5 * kops["B+-B+"]["0.9"]

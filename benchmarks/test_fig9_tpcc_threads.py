@@ -1,0 +1,37 @@
+"""Figure 9: TPC-C throughput by thread count (4 KB pages).
+
+Shape criteria: while the workload fits in memory, throughput scales with
+thread count (paper: ~8x from 2 to 16 threads); once the memory limit is
+reached the disk serializes everything and extra threads stop helping;
+ART-LSM holds the highest on-disk throughput.
+"""
+
+from repro.bench.tpcc_experiments import fig9_tpcc_threads
+
+
+def test_fig9_tpcc_threads(once):
+    result = once(fig9_tpcc_threads)
+    print("\n" + result["table"])
+    ktps = result["ktps"]
+
+    for backend in ("ART-LSM", "ART-B+", "B+-B+"):
+        in_mem = [ktps[backend][str(t)]["in_memory_ktps"] for t in (2, 4, 8, 16)]
+        on_disk = [ktps[backend][str(t)]["on_disk_ktps"] for t in (2, 4, 8, 16)]
+        # Phase 1 scales well with threads.
+        assert in_mem[-1] > 3 * in_mem[0], backend
+        # Phase 2 does not: the single disk is the bottleneck.
+        assert on_disk[-1] < 2 * on_disk[0], backend
+        # Phase 1 always beats phase 2.
+        assert min(in_mem) > max(on_disk), backend
+
+    # ART-LSM dominates the disk-bound phase (LSM absorbs the
+    # half-random-half-sequential orderline inserts).
+    for t in (2, 4, 8, 16):
+        assert (
+            ktps["ART-LSM"][str(t)]["on_disk_ktps"]
+            > ktps["ART-B+"][str(t)]["on_disk_ktps"]
+        )
+        assert (
+            ktps["ART-LSM"][str(t)]["on_disk_ktps"]
+            > ktps["B+-B+"][str(t)]["on_disk_ktps"]
+        )

@@ -1,0 +1,11 @@
+"""Table I: the four compared system compositions."""
+
+from repro.bench.experiments import table1_systems
+
+
+def test_table1_systems(once):
+    result = once(table1_systems)
+    print("\n" + result["table"])
+    assert set(result["composition"]) == {"ART-LSM", "ART-B+", "B+-B+", "RocksDB"}
+    assert result["composition"]["ART-LSM"]["index_y"] == "LSM-tree Index"
+    assert result["composition"]["B+-B+"]["index_x"] == "B+ Index"

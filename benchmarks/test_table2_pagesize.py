@@ -1,0 +1,20 @@
+"""Table II: random write throughput by page size.
+
+Shape criteria: B+-B+ degrades monotonically as pages grow (bigger
+read-modify-write amplification per split); ART-B+ improves (its batched,
+localized write-backs amortize better over larger pages).
+"""
+
+from repro.bench.experiments import table2_pagesize
+
+
+def test_table2_pagesize(once):
+    result = once(table2_pagesize)
+    print("\n" + result["table"])
+    bb = result["kops"]["B+-B+"]
+    artb = result["kops"]["ART-B+"]
+    assert bb["4096"] > bb["16384"]  # B+-B+ degrades with page size
+    assert artb["16384"] > artb["4096"]  # ART-B+ improves with page size
+    # ART-B+ dominates at every page size (paper: 7x-21x).
+    for p in ("4096", "8192", "16384"):
+        assert artb[p] > 3 * bb[p]

@@ -1,0 +1,58 @@
+"""Compare the four Table-I systems on a bursty OLTP-style workload.
+
+The scenario from the paper's introduction: an index absorbing a heavy
+insert burst under a fixed memory budget, followed by skewed point reads.
+Prints a side-by-side table of simulated throughput and the I/O pattern
+each design produced.
+
+Run:  python examples/compare_systems.py
+"""
+
+import random
+
+from repro.systems import SYSTEM_NAMES, build_system
+from repro.workloads import ZipfianGenerator
+
+LIMIT = 192 * 1024
+N_INSERTS = 15_000
+N_READS = 10_000
+THREADS = 4
+
+
+def main() -> None:
+    rng = random.Random(11)
+    insert_keys = rng.sample(range(1 << 40), N_INSERTS)
+
+    print(f"{'system':<10} {'write KOPS':>11} {'read KOPS':>10} "
+          f"{'seq writes':>11} {'rand writes':>12} {'memory KiB':>11}")
+    print("-" * 60)
+    for name in SYSTEM_NAMES:
+        system = build_system(name, memory_limit_bytes=LIMIT)
+
+        before = system.snapshot()
+        for key in insert_keys:
+            system.insert(key, b"v" * 16)
+        write_delta = before.delta(system.snapshot())
+        write_kops = write_delta.throughput_ops(THREADS, system.thread_model) / 1e3
+
+        zipf = ZipfianGenerator(N_INSERTS, theta=0.8, seed=13)
+        before = system.snapshot()
+        for __ in range(N_READS):
+            system.read(insert_keys[zipf.next()])
+        read_delta = before.delta(system.snapshot())
+        read_kops = read_delta.throughput_ops(THREADS, system.thread_model) / 1e3
+
+        stats = system.disk.stats
+        print(f"{name:<10} {write_kops:>11,.0f} {read_kops:>10,.0f} "
+              f"{stats['seq_writes']:>11,.0f} {stats['rand_writes']:>12,.0f} "
+              f"{system.memory_bytes / 1024:>11,.0f}")
+
+    print("\nReading the table:")
+    print(" * ART-LSM turns random inserts into sequential disk writes")
+    print("   (compare its seq/rand write split against B+-B+).")
+    print(" * ART-X systems serve skewed reads from the compact in-memory")
+    print("   index; B+-B+ spends its budget caching whole pages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Adaptive radix tree (ART) — the paper's preferred Index X.
+
+A from-scratch implementation of the ART of Leis et al. (ICDE 2013) with the
+three classic optimizations (adaptive node sizes Node4/16/48/256, path
+compression, single-value leaves) plus the per-inner-node bookkeeping the
+IndeXY framework requires (Section II of the paper): a dirty bit, a
+cleaning-candidate bit, sampled access and insert counters, and an exact
+count of leaves under each inner node.
+
+Keys are binary-comparable byte strings (see :mod:`repro.art.keys`), so
+ordered iteration of the radix structure yields keys in sort order — the
+property both pre-cleaning (sequential write-back) and range scans rely on.
+"""
+
+from repro.art.keys import decode_int, encode_int, encode_str
+from repro.art.nodes import ART_LEAF_OVERHEAD, InnerNode, Leaf, Node4, Node16, Node48, Node256
+from repro.art.tree import AdaptiveRadixTree
+
+__all__ = [
+    "ART_LEAF_OVERHEAD",
+    "AdaptiveRadixTree",
+    "InnerNode",
+    "Leaf",
+    "Node4",
+    "Node16",
+    "Node48",
+    "Node256",
+    "decode_int",
+    "encode_int",
+    "encode_str",
+]

@@ -1,0 +1,45 @@
+"""Binary-comparable key encodings for the radix tree.
+
+ART requires that the byte-wise order of encoded keys equals the logical
+order of the original values.  Unsigned integers encode as fixed-width
+big-endian; strings encode as UTF-8 with a terminating zero byte so that no
+key can be a strict prefix of another (the standard ART trick).
+"""
+
+from __future__ import annotations
+
+INT_KEY_WIDTH = 8
+_STR_TERMINATOR = b"\x00"
+
+
+def encode_int(value: int, width: int = INT_KEY_WIDTH) -> bytes:
+    """Encode an unsigned integer as a big-endian, fixed-width byte key."""
+    if value < 0:
+        raise ValueError(f"only unsigned keys are supported, got {value}")
+    return value.to_bytes(width, "big")
+
+
+def decode_int(key: bytes) -> int:
+    """Invert :func:`encode_int`."""
+    return int.from_bytes(key, "big")
+
+
+def encode_str(value: str) -> bytes:
+    """Encode a string as a zero-terminated UTF-8 byte key.
+
+    The terminator keeps the encoding prefix-free; embedded NUL characters
+    would break that property and are rejected.
+    """
+    raw = value.encode("utf-8")
+    if _STR_TERMINATOR in raw:
+        raise ValueError("string keys must not contain NUL characters")
+    return raw + _STR_TERMINATOR
+
+
+def common_prefix_length(a: bytes, b: bytes) -> int:
+    """Length of the longest common prefix of two byte strings."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit

@@ -1,0 +1,367 @@
+"""ART node types.
+
+Four adaptive inner-node layouts (Node4, Node16, Node48, Node256) and a
+single-value leaf, following Leis et al.  Every inner node carries the
+framework bookkeeping the paper asks Index X to host (Section II-B/II-C):
+
+* ``dirty`` — some leaf under this node holds unflushed data (used to
+  locate and collect dirty keys; never cleared until the data is written);
+* ``activity`` — the check-back D bit of Figure 2: set on every insert,
+  cleared by the pre-cleaning scan to detect insert-hot regions.  The paper
+  overloads one D bit for both roles; splitting them keeps dirty-subtree
+  pruning sound while the scan manipulates the activity view;
+* ``clean_candidate`` — the C bit used by the check-back pre-cleaning scan;
+* ``access_count`` — sampled count of searches that crossed this node;
+* ``insert_count`` — sampled count of inserts that crossed this node;
+* ``leaf_count`` — exact number of leaves in the subtree (the denominator
+  of the access-density ratio).
+
+``memory_bytes`` reports the footprint the node would have in the C
+implementation (the numbers from the ART paper), so the framework's memory
+budget behaves like the real system's: ART stays far more compact than
+page-based B+ trees, which is what lets ART-X systems hold more keys before
+hitting the limit (Figure 3 discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+#: Header bytes shared by every inner node in the C layout
+#: (type tag, child count, prefix length, prefix buffer) plus the 2–4 bytes
+#: the framework borrows for its bits and sampled counters.
+_INNER_HEADER_BYTES = 16 + 4
+
+#: Leaf overhead when the value cannot be embedded in the pointer slot
+#: (allocation header + length fields).
+ART_LEAF_OVERHEAD = 16
+
+_POINTER_BYTES = 8
+
+#: Values at most this long are stored via pointer tagging directly in the
+#: parent's child slot -- no leaf allocation at all.  This is the
+#: "single-value leaves" optimization of Leis et al.: for fixed 8-byte
+#: values (the paper's microbenchmark setup) the index adds only the radix
+#: structure itself per key, which is why ART-X systems hold visibly more
+#: keys than page-based B+ trees before the memory limit (Figure 3b/3d
+#: discussion).  The key needs no leaf storage either: it is implicit in
+#: the radix path and verified against the referenced tuple.
+_EMBEDDABLE_VALUE_BYTES = 8
+
+
+class Leaf:
+    """A single key/value pair.
+
+    ``dirty`` marks data not yet persisted in Index Y; keys loaded back from
+    Index Y are inserted clean because their copy in Y survives (Section
+    II-D).
+    """
+
+    __slots__ = ("key", "value", "dirty")
+
+    def __init__(self, key: bytes, value: bytes, dirty: bool = True) -> None:
+        self.key = key
+        self.value = value
+        self.dirty = dirty
+
+    def memory_bytes(self) -> int:
+        if len(self.value) <= _EMBEDDABLE_VALUE_BYTES:
+            return 0  # pointer-tagged: lives in the parent's child slot
+        return ART_LEAF_OVERHEAD + len(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Leaf({self.key!r}, dirty={self.dirty})"
+
+
+class InnerNode:
+    """Common behaviour of the four adaptive node layouts."""
+
+    __slots__ = (
+        "prefix",
+        "dirty",
+        "activity",
+        "clean_candidate",
+        "access_count",
+        "insert_count",
+        "leaf_count",
+    )
+
+    #: Maximum number of children before the node must grow.
+    CAPACITY = 0
+
+    #: Capacity of the next-smaller layout (None when already smallest);
+    #: the tree shrinks a node only when its children fit comfortably.
+    SHRINK_CAPACITY: int | None = None
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        self.prefix = prefix
+        self.dirty = False
+        self.activity = False
+        self.clean_candidate = False
+        self.access_count = 0
+        self.insert_count = 0
+        self.leaf_count = 0
+
+    # -- child access -------------------------------------------------
+    def child(self, byte: int) -> Optional["Child"]:
+        raise NotImplementedError
+
+    def set_child(self, byte: int, child: "Child") -> None:
+        """Insert or replace the child slot for ``byte``.
+
+        Raises ``RuntimeError`` if the node is full and ``byte`` is new;
+        callers grow the node first.
+        """
+        raise NotImplementedError
+
+    def remove_child(self, byte: int) -> None:
+        raise NotImplementedError
+
+    def children_items(self) -> Iterator[tuple[int, "Child"]]:
+        """Yield ``(byte, child)`` in ascending byte order."""
+        raise NotImplementedError
+
+    @property
+    def num_children(self) -> int:
+        raise NotImplementedError
+
+    def is_full(self) -> bool:
+        return self.num_children >= self.CAPACITY
+
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+    # -- adaptive resizing ---------------------------------------------
+    def grown(self) -> "InnerNode":
+        """Return the next-larger layout holding the same children."""
+        raise NotImplementedError
+
+    def shrunk(self) -> "InnerNode":
+        """Return the next-smaller layout holding the same children."""
+        raise NotImplementedError
+
+    def _copy_meta_from(self, other: "InnerNode") -> None:
+        self.prefix = other.prefix
+        self.dirty = other.dirty
+        self.activity = other.activity
+        self.clean_candidate = other.clean_candidate
+        self.access_count = other.access_count
+        self.insert_count = other.insert_count
+        self.leaf_count = other.leaf_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(prefix={self.prefix!r}, "
+            f"children={self.num_children}, leaves={self.leaf_count})"
+        )
+
+
+Child = Union[InnerNode, Leaf]
+
+
+class _SortedArrayNode(InnerNode):
+    """Shared implementation of Node4 and Node16: sorted parallel arrays."""
+
+    __slots__ = ("_bytes", "_children")
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        super().__init__(prefix)
+        self._bytes: list[int] = []
+        self._children: list[Child] = []
+
+    def child(self, byte: int) -> Optional[Child]:
+        # Linear scan: these nodes hold at most 16 entries, matching the
+        # SIMD-scanned layout of the C implementation.
+        for i, b in enumerate(self._bytes):
+            if b == byte:
+                return self._children[i]
+            if b > byte:
+                return None
+        return None
+
+    def set_child(self, byte: int, child: Child) -> None:
+        for i, b in enumerate(self._bytes):
+            if b == byte:
+                self._children[i] = child
+                return
+            if b > byte:
+                if self.is_full():
+                    raise RuntimeError("node full; grow before inserting")
+                self._bytes.insert(i, byte)
+                self._children.insert(i, child)
+                return
+        if self.is_full():
+            raise RuntimeError("node full; grow before inserting")
+        self._bytes.append(byte)
+        self._children.append(child)
+
+    def remove_child(self, byte: int) -> None:
+        for i, b in enumerate(self._bytes):
+            if b == byte:
+                del self._bytes[i]
+                del self._children[i]
+                return
+        raise KeyError(byte)
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        yield from zip(self._bytes, self._children)
+
+    @property
+    def num_children(self) -> int:
+        return len(self._bytes)
+
+
+class Node4(_SortedArrayNode):
+    CAPACITY = 4
+
+    def memory_bytes(self) -> int:
+        return _INNER_HEADER_BYTES + 4 + 4 * _POINTER_BYTES  # 56 B
+
+    def grown(self) -> "Node16":
+        node = Node16()
+        node._copy_meta_from(self)
+        node._bytes = list(self._bytes)
+        node._children = list(self._children)
+        return node
+
+    def shrunk(self) -> "Node4":
+        return self
+
+
+class Node16(_SortedArrayNode):
+    CAPACITY = 16
+    SHRINK_CAPACITY = 4
+
+    def memory_bytes(self) -> int:
+        return _INNER_HEADER_BYTES + 16 + 16 * _POINTER_BYTES  # 164 B
+
+    def grown(self) -> "Node48":
+        node = Node48()
+        node._copy_meta_from(self)
+        for byte, child in self.children_items():
+            node.set_child(byte, child)
+        return node
+
+    def shrunk(self) -> "Node4":
+        node = Node4()
+        node._copy_meta_from(self)
+        node._bytes = list(self._bytes)
+        node._children = list(self._children)
+        return node
+
+
+class Node48(InnerNode):
+    """256-entry byte index into a 48-slot child array."""
+
+    CAPACITY = 48
+    SHRINK_CAPACITY = 16
+    __slots__ = ("_index", "_children", "_count")
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        super().__init__(prefix)
+        self._index: list[int] = [-1] * 256
+        self._children: list[Optional[Child]] = [None] * self.CAPACITY
+        self._count = 0
+
+    def child(self, byte: int) -> Optional[Child]:
+        slot = self._index[byte]
+        return None if slot < 0 else self._children[slot]
+
+    def set_child(self, byte: int, child: Child) -> None:
+        slot = self._index[byte]
+        if slot >= 0:
+            self._children[slot] = child
+            return
+        if self.is_full():
+            raise RuntimeError("node full; grow before inserting")
+        slot = self._children.index(None)
+        self._index[byte] = slot
+        self._children[slot] = child
+        self._count += 1
+
+    def remove_child(self, byte: int) -> None:
+        slot = self._index[byte]
+        if slot < 0:
+            raise KeyError(byte)
+        self._index[byte] = -1
+        self._children[slot] = None
+        self._count -= 1
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        for byte in range(256):
+            slot = self._index[byte]
+            if slot >= 0:
+                child = self._children[slot]
+                assert child is not None
+                yield byte, child
+
+    @property
+    def num_children(self) -> int:
+        return self._count
+
+    def memory_bytes(self) -> int:
+        return _INNER_HEADER_BYTES + 256 + 48 * _POINTER_BYTES  # 660 B
+
+    def grown(self) -> "Node256":
+        node = Node256()
+        node._copy_meta_from(self)
+        for byte, child in self.children_items():
+            node.set_child(byte, child)
+        return node
+
+    def shrunk(self) -> "Node16":
+        node = Node16()
+        node._copy_meta_from(self)
+        for byte, child in self.children_items():
+            node.set_child(byte, child)
+        return node
+
+
+class Node256(InnerNode):
+    """Direct 256-entry child array."""
+
+    CAPACITY = 256
+    SHRINK_CAPACITY = 48
+    __slots__ = ("_children", "_count")
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        super().__init__(prefix)
+        self._children: list[Optional[Child]] = [None] * 256
+        self._count = 0
+
+    def child(self, byte: int) -> Optional[Child]:
+        return self._children[byte]
+
+    def set_child(self, byte: int, child: Child) -> None:
+        if self._children[byte] is None:
+            self._count += 1
+        self._children[byte] = child
+
+    def remove_child(self, byte: int) -> None:
+        if self._children[byte] is None:
+            raise KeyError(byte)
+        self._children[byte] = None
+        self._count -= 1
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        for byte in range(256):
+            child = self._children[byte]
+            if child is not None:
+                yield byte, child
+
+    @property
+    def num_children(self) -> int:
+        return self._count
+
+    def memory_bytes(self) -> int:
+        return _INNER_HEADER_BYTES + 256 * _POINTER_BYTES  # 2068 B
+
+    def grown(self) -> "Node256":
+        return self
+
+    def shrunk(self) -> "Node48":
+        node = Node48()
+        node._copy_meta_from(self)
+        for byte, child in self.children_items():
+            node.set_child(byte, child)
+        return node

@@ -1,0 +1,505 @@
+"""The adaptive radix tree.
+
+Implements search / insert / delete / ordered scan with path compression and
+adaptive node resizing, plus the hooks the IndeXY framework layers on top:
+
+* per-path D-bit propagation on dirty inserts;
+* sampled access/insert counters on inner nodes (temporal statistics for
+  the access-density release policy);
+* exact per-subtree leaf counts (the density denominator);
+* key-space partitioning at a chosen depth (the pre-cleaner's inner-node
+  list) and whole-subtree detach (the release mechanism).
+
+Structural CPU work is charged to an optional :class:`~repro.sim.SimClock`
+using :class:`~repro.sim.CostModel` unit costs, so simulated throughput
+reflects real traversal counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.art.keys import common_prefix_length
+from repro.art.nodes import Child, InnerNode, Leaf, Node4
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+
+
+@dataclass
+class PartitionEntry:
+    """One subtree in a key-space partition at a fixed depth.
+
+    ``ancestors`` is the path from the root down to (excluding) ``node``;
+    ``byte`` is the child slot of ``node`` in its direct parent
+    (``ancestors[-1]``).  ``low_key`` is the smallest full key currently in
+    the subtree, used by the pre-cleaner to order write-backs.
+    """
+
+    node: InnerNode
+    byte: Optional[int]
+    ancestors: list[InnerNode] = field(default_factory=list)
+
+    @property
+    def parent(self) -> Optional[InnerNode]:
+        return self.ancestors[-1] if self.ancestors else None
+
+
+class AdaptiveRadixTree:
+    """An ordered byte-key index with adaptive radix nodes.
+
+    The root is always an inner node (initially an empty ``Node4``), which
+    keeps parent bookkeeping uniform.  ``memory_bytes`` is maintained
+    incrementally and matches the C-layout footprint of every live node, so
+    the framework's watermark logic sees realistic sizes.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        costs: CostModel | None = None,
+        background: bool = False,
+    ) -> None:
+        self._root: InnerNode = Node4()
+        self._clock = clock
+        self._costs = costs or CostModel()
+        self._background = background
+        self.memory_bytes = self._root.memory_bytes()
+        self.key_count = 0
+        self.tracking_enabled = False
+        self.sample_every = 1
+        self._op_counter = 0
+
+    # ------------------------------------------------------------------
+    # cost charging
+    # ------------------------------------------------------------------
+    def _charge(self, visits: int, extra_ns: float = 0.0) -> None:
+        if self._clock is None:
+            return
+        ns = visits * self._costs.art_node_visit + extra_ns
+        if self._background:
+            self._clock.charge_background(ns)
+        else:
+            self._clock.charge_cpu(ns)
+
+    def _should_sample(self) -> bool:
+        if not self.tracking_enabled:
+            return False
+        self._op_counter += 1
+        return self._op_counter % self.sample_every == 0
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or ``None`` on a miss."""
+        record = self._should_sample()
+        node: Child = self._root
+        depth = 0
+        visits = 0
+        while isinstance(node, InnerNode):
+            visits += 1
+            if record:
+                node.access_count += 1
+            prefix = node.prefix
+            if prefix:
+                if key[depth : depth + len(prefix)] != prefix:
+                    self._charge(visits)
+                    return None
+                depth += len(prefix)
+            if depth >= len(key):
+                self._charge(visits)
+                return None
+            nxt = node.child(key[depth])
+            if nxt is None:
+                self._charge(visits)
+                return None
+            depth += 1
+            node = nxt
+        self._charge(visits, self._costs.key_compare)
+        if node.key == key:
+            return node.value
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.search(key) is not None
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, value: bytes, dirty: bool = True) -> bool:
+        """Insert or overwrite ``key``.
+
+        Returns ``True`` if a new key was added, ``False`` on overwrite.
+        ``dirty=False`` is used when reloading keys whose copy survives in
+        Index Y (Section II-D): they must not trigger write-backs.
+        """
+        record = self._should_sample()
+        path: list[InnerNode] = []
+        parent: Optional[InnerNode] = None
+        parent_byte = 0
+        node: InnerNode = self._root
+        depth = 0
+        visits = 0
+
+        while True:
+            visits += 1
+            path.append(node)
+            if record:
+                node.insert_count += 1
+            prefix = node.prefix
+            if prefix:
+                match = common_prefix_length(key[depth:], prefix)
+                if match < len(prefix):
+                    junction = self._split_prefix(
+                        parent, parent_byte, node, key, depth, match, value, dirty
+                    )
+                    # The new leaf hangs off the junction, not off ``node``:
+                    # swap them so leaf counting lands on the right nodes.
+                    path[-1] = junction
+                    self._finish_insert(path, dirty, new_key=True, visits=visits)
+                    return True
+                depth += len(prefix)
+            byte = key[depth]
+            child = node.child(byte)
+            if child is None:
+                node = self._ensure_capacity(parent, parent_byte, node, path)
+                leaf = Leaf(key, value, dirty)
+                node.set_child(byte, leaf)
+                self.memory_bytes += leaf.memory_bytes()
+                self._finish_insert(path, dirty, new_key=True, visits=visits)
+                return True
+            if isinstance(child, Leaf):
+                if child.key == key:
+                    self.memory_bytes += len(value) - len(child.value)
+                    child.value = value
+                    child.dirty = child.dirty or dirty
+                    self._finish_insert(path, dirty, new_key=False, visits=visits)
+                    return False
+                junction = self._split_leaf(node, byte, child, key, value, depth + 1, dirty)
+                path.append(junction)
+                self._finish_insert(path, dirty, new_key=True, visits=visits)
+                return True
+            parent, parent_byte = node, byte
+            node = child
+            depth += 1
+
+    def _finish_insert(self, path: list[InnerNode], dirty: bool, new_key: bool, visits: int) -> None:
+        for node in path:
+            if dirty:
+                node.dirty = True
+                node.activity = True
+            if new_key:
+                node.leaf_count += 1
+        if new_key:
+            self.key_count += 1
+        self._charge(visits, self._costs.leaf_mutate)
+
+    def _ensure_capacity(
+        self,
+        parent: Optional[InnerNode],
+        parent_byte: int,
+        node: InnerNode,
+        path: list[InnerNode],
+    ) -> InnerNode:
+        """Grow ``node`` if full, replacing it in its parent and in ``path``."""
+        if not node.is_full():
+            return node
+        grown = node.grown()
+        self.memory_bytes += grown.memory_bytes() - node.memory_bytes()
+        self._replace_child(parent, parent_byte, node, grown)
+        path[path.index(node)] = grown
+        self._charge(0, self._costs.node_alloc)
+        return grown
+
+    def _replace_child(
+        self,
+        parent: Optional[InnerNode],
+        parent_byte: int,
+        old: InnerNode,
+        new: InnerNode,
+    ) -> None:
+        if parent is None:
+            assert old is self._root
+            self._root = new
+        else:
+            parent.set_child(parent_byte, new)
+
+    def _split_prefix(
+        self,
+        parent: Optional[InnerNode],
+        parent_byte: int,
+        node: InnerNode,
+        key: bytes,
+        depth: int,
+        match: int,
+        value: bytes,
+        dirty: bool,
+    ) -> Node4:
+        """Split ``node``'s compressed prefix at ``match`` and add a leaf.
+
+        Returns the new junction node (caller fixes up leaf counting; the
+        junction enters with ``node``'s count and is bumped by
+        ``_finish_insert`` for the new leaf).
+        """
+        prefix = node.prefix
+        junction = Node4(prefix=prefix[:match])
+        junction.leaf_count = node.leaf_count
+        junction.dirty = node.dirty
+        junction.set_child(prefix[match], node)
+        node.prefix = prefix[match + 1 :]
+        leaf = Leaf(key, value, dirty)
+        junction.set_child(key[depth + match], leaf)
+        self._replace_child(parent, parent_byte, node, junction)
+        self.memory_bytes += junction.memory_bytes() + leaf.memory_bytes()
+        self._charge(0, self._costs.node_alloc)
+        return junction
+
+    def _split_leaf(
+        self,
+        node: InnerNode,
+        byte: int,
+        existing: Leaf,
+        key: bytes,
+        value: bytes,
+        depth: int,
+        dirty: bool,
+    ) -> Node4:
+        """Replace a leaf slot with a Node4 holding both the old and new leaf.
+
+        Returns the junction; it enters counting only the existing leaf and
+        is bumped to two by ``_finish_insert``.
+        """
+        old_suffix = existing.key[depth:]
+        new_suffix = key[depth:]
+        match = common_prefix_length(old_suffix, new_suffix)
+        junction = Node4(prefix=new_suffix[:match])
+        junction.leaf_count = 1
+        junction.dirty = existing.dirty
+        junction.set_child(old_suffix[match], existing)
+        leaf = Leaf(key, value, dirty)
+        junction.set_child(new_suffix[match], leaf)
+        node.set_child(byte, junction)
+        self.memory_bytes += junction.memory_bytes() + leaf.memory_bytes()
+        self._charge(0, self._costs.node_alloc)
+        return junction
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns ``True`` if it was present."""
+        path: list[tuple[InnerNode, int]] = []  # (node, byte taken from it)
+        node: InnerNode = self._root
+        depth = 0
+        visits = 0
+        while True:
+            visits += 1
+            prefix = node.prefix
+            if prefix:
+                if key[depth : depth + len(prefix)] != prefix:
+                    self._charge(visits)
+                    return False
+                depth += len(prefix)
+            if depth >= len(key):
+                self._charge(visits)
+                return False
+            byte = key[depth]
+            child = node.child(byte)
+            if child is None:
+                self._charge(visits)
+                return False
+            if isinstance(child, Leaf):
+                if child.key != key:
+                    self._charge(visits)
+                    return False
+                node.remove_child(byte)
+                self.memory_bytes -= child.memory_bytes()
+                self.key_count -= 1
+                for ancestor, __ in path:
+                    ancestor.leaf_count -= 1
+                node.leaf_count -= 1
+                self._collapse(path, node)
+                self._charge(visits, self._costs.leaf_mutate)
+                return True
+            path.append((node, byte))
+            node = child
+            depth += 1
+
+    def _collapse(self, path: list[tuple[InnerNode, int]], node: InnerNode) -> None:
+        """Path-compress or shrink nodes after a removal."""
+        while True:
+            parent_entry = path[-1] if path else None
+            if node.num_children == 0 and node is not self._root:
+                parent, parent_byte = parent_entry  # type: ignore[misc]
+                parent.remove_child(parent_byte)
+                self.memory_bytes -= node.memory_bytes()
+                path.pop()
+                node = parent
+                continue
+            if node.num_children == 1 and node is not self._root:
+                # Merge the single child upward (path compression).
+                (byte, only_child) = next(node.children_items())
+                parent, parent_byte = parent_entry  # type: ignore[misc]
+                if isinstance(only_child, InnerNode):
+                    only_child.prefix = node.prefix + bytes([byte]) + only_child.prefix
+                parent.set_child(parent_byte, only_child)
+                self.memory_bytes -= node.memory_bytes()
+                path.pop()
+                node = parent
+                continue
+            shrunk = self._maybe_shrink(node)
+            if shrunk is not node:
+                if parent_entry is None:
+                    self._root = shrunk
+                else:
+                    parent, parent_byte = parent_entry
+                    parent.set_child(parent_byte, shrunk)
+            break
+
+    def _maybe_shrink(self, node: InnerNode) -> InnerNode:
+        # Hysteresis: only shrink once comfortably under the smaller layout.
+        threshold = node.SHRINK_CAPACITY
+        if threshold is None or node.num_children > max(1, threshold - 1):
+            return node
+        smaller = node.shrunk()
+        self.memory_bytes += smaller.memory_bytes() - node.memory_bytes()
+        return smaller
+
+    # ------------------------------------------------------------------
+    # ordered iteration
+    # ------------------------------------------------------------------
+    def items(self, start: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` in ascending key order, from ``start``."""
+        yield from ((leaf.key, leaf.value) for leaf in self.iter_leaves(self._root, start))
+
+    def iter_leaves(self, node: Child, start: bytes | None = None) -> Iterator[Leaf]:
+        """Yield leaves under ``node`` in key order, skipping keys < start."""
+        stack: list[Child] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, Leaf):
+                if start is None or current.key >= start:
+                    yield current
+                continue
+            children = [child for __, child in current.children_items()]
+            stack.extend(reversed(children))
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Return up to ``count`` pairs with key >= ``start`` in order."""
+        out: list[tuple[bytes, bytes]] = []
+        for key, value in self.items(start):
+            out.append((key, value))
+            if len(out) >= count:
+                break
+        self._charge(len(out) + 1)
+        return out
+
+    # ------------------------------------------------------------------
+    # framework hooks
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> InnerNode:
+        return self._root
+
+    def partition(self, depth: int) -> list[PartitionEntry]:
+        """Partition the key space into subtrees at inner-node ``depth``.
+
+        Returns the inner nodes reached by descending ``depth`` hops from
+        the root (depth 0 is the root itself).  Branches shallower than
+        ``depth``, and nodes that hold leaves directly, stop early and
+        contribute themselves, so the entries are disjoint and always cover
+        the whole key space (this is the pre-cleaner's "inner node list",
+        Section II-B).
+        """
+        entries: list[PartitionEntry] = []
+
+        def walk(node: InnerNode, byte: Optional[int], ancestors: list[InnerNode], d: int) -> None:
+            has_leaf_child = False
+            inner_children = []
+            for b, c in node.children_items():
+                if isinstance(c, InnerNode):
+                    inner_children.append((b, c))
+                else:
+                    has_leaf_child = True
+            if d >= depth or has_leaf_child or not inner_children:
+                entries.append(PartitionEntry(node=node, byte=byte, ancestors=list(ancestors)))
+                return
+            ancestors.append(node)
+            for b, c in inner_children:
+                walk(c, b, ancestors, d + 1)
+            ancestors.pop()
+
+        walk(self._root, None, [], 0)
+        return entries
+
+    def subtree_memory(self, node: Child) -> int:
+        """Total C-layout footprint of the subtree rooted at ``node``."""
+        total = 0
+        stack: list[Child] = [node]
+        while stack:
+            current = stack.pop()
+            total += current.memory_bytes()
+            if isinstance(current, InnerNode):
+                stack.extend(child for __, child in current.children_items())
+        return total
+
+    def iter_dirty_leaves(self, node: Child) -> Iterator[Leaf]:
+        """Yield dirty leaves under ``node`` in key order, pruning clean subtrees."""
+        stack: list[Child] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, Leaf):
+                if current.dirty:
+                    yield current
+                continue
+            if not current.dirty:
+                continue
+            children = [child for __, child in current.children_items()]
+            stack.extend(reversed(children))
+
+    def clear_dirty(self, node: Child) -> None:
+        """Clear D bits and leaf dirty flags in the whole subtree."""
+        stack: list[Child] = [node]
+        while stack:
+            current = stack.pop()
+            current.dirty = False
+            if isinstance(current, InnerNode):
+                stack.extend(child for __, child in current.children_items())
+
+    def detach(self, entry: PartitionEntry) -> InnerNode:
+        """Remove ``entry.node``'s subtree from the tree and return it.
+
+        The caller is responsible for having persisted its dirty leaves.
+        Leaf counts and the memory account are adjusted up the ancestor
+        chain; detaching the root is expressed as replacing it with an empty
+        node.
+        """
+        node = entry.node
+        removed_leaves = node.leaf_count
+        removed_bytes = self.subtree_memory(node)
+        if entry.parent is None:
+            self._root = Node4()
+            self.memory_bytes -= removed_bytes
+            self.memory_bytes += self._root.memory_bytes()
+        else:
+            assert entry.byte is not None
+            entry.parent.remove_child(entry.byte)
+            self.memory_bytes -= removed_bytes
+            for ancestor in entry.ancestors:
+                ancestor.leaf_count -= removed_leaves
+        self.key_count -= removed_leaves
+        self._charge(1, self._costs.lock_acquire)
+        return node
+
+    def reset_access_counts(self, node: Child) -> None:
+        """Zero access counters in a subtree (after a release, Section II-C)."""
+        stack: list[Child] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, InnerNode):
+                current.access_count = 0
+                stack.extend(child for __, child in current.children_items())
+
+    def __len__(self) -> int:
+        return self.key_count

@@ -1,0 +1,20 @@
+"""Benchmark harness: one experiment per table and figure of the paper.
+
+Each experiment in :mod:`repro.bench.experiments` drives the systems with
+the corresponding workload at simulation scale, returns a structured result
+dict, renders it as a text table, and persists it as JSON under
+``results/`` for EXPERIMENTS.md.  Throughput figures are operations per
+*simulated* second (see :mod:`repro.sim`): absolute values differ from the
+paper's testbed, relative shapes are the reproduction target.
+"""
+
+from repro.bench.harness import insert_series, phase_split, preload_into_y
+from repro.bench.report import format_table, write_result
+
+__all__ = [
+    "format_table",
+    "insert_series",
+    "phase_split",
+    "preload_into_y",
+    "write_result",
+]

@@ -1,0 +1,63 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig3_random
+    python -m repro.bench fig8 table2 ablation_precleaning
+    python -m repro.bench all
+
+Each experiment prints its reproduced table and writes structured JSON
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ablations, experiments, multi_y_bench, tpcc_experiments
+
+EXPERIMENTS = {
+    "table1": experiments.table1_systems,
+    "fig3_random": lambda: experiments.fig3_inserts("random"),
+    "fig3_sequential": lambda: experiments.fig3_inserts("sequential"),
+    "table2": experiments.table2_pagesize,
+    "fig4": experiments.fig4_valuesize,
+    "fig5": experiments.fig5_workingset,
+    "fig6": experiments.fig6_zipf,
+    "fig7": experiments.fig7_shifting,
+    "fig8": experiments.fig8_ycsb,
+    "fig9": tpcc_experiments.fig9_tpcc_threads,
+    "fig10": tpcc_experiments.fig10_tpcc_pagesize,
+    "fig11": tpcc_experiments.fig11_scaling,
+    "multi_y": multi_y_bench.multi_y_mixed_workload,
+    "ablation_release": ablations.ablation_release_policy,
+    "ablation_precleaning": ablations.ablation_precleaning,
+    "ablation_checkback": ablations.ablation_checkback,
+    "ablation_watermarks": ablations.ablation_watermarks,
+    "ablation_readcache": ablations.ablation_readcache,
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("Available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("run 'python -m repro.bench list' to see the options", file=sys.stderr)
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result["table"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,83 @@
+"""Shared measurement helpers for the experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.systems.base import KVSystem
+
+
+def insert_series(
+    system: KVSystem,
+    keys: Iterable[int],
+    value: bytes,
+    chunk: int,
+    threads: int = 4,
+) -> list[dict]:
+    """Insert ``keys`` sampling throughput and memory once per ``chunk``.
+
+    Returns one sample dict per chunk: keys inserted so far, throughput of
+    the chunk in KOPS (thousands of ops per simulated second), and the
+    system's memory footprint.
+    """
+    samples: list[dict] = []
+    previous = system.snapshot()
+    inserted = 0
+    for key in keys:
+        system.insert(key, value)
+        inserted += 1
+        if inserted % chunk == 0:
+            current = system.snapshot()
+            delta = previous.delta(current)
+            samples.append(
+                {
+                    "keys": inserted,
+                    "kops": delta.throughput_ops(threads, system.thread_model) / 1e3,
+                    "memory_mb": system.memory_bytes / (1 << 20),
+                }
+            )
+            previous = current
+    return samples
+
+
+def read_throughput(
+    system: KVSystem,
+    keys: Iterable[int],
+    threads: int = 4,
+    reader: Callable[[int], object] | None = None,
+) -> float:
+    """Execute reads and return throughput in KOPS."""
+    read = reader or system.read
+    before = system.snapshot()
+    n = 0
+    for key in keys:
+        read(key)
+        n += 1
+    delta = before.delta(system.snapshot())
+    if n == 0:
+        return 0.0
+    return delta.throughput_ops(threads, system.thread_model) / 1e3
+
+
+def preload_into_y(system: KVSystem, n_keys: int, value: bytes, seed: int = 97) -> list[int]:
+    """Load ``n_keys`` into a system and push everything through to Index Y.
+
+    Mirrors the read studies' setup: the key population lives on disk and
+    the memory holds whatever the warm-up pulls in.
+    """
+    import random
+
+    rng = random.Random(seed)
+    keys = rng.sample(range(4 * n_keys), n_keys)
+    for key in keys:
+        system.insert(key, value)
+    system.flush()
+    return keys
+
+
+def phase_split(samples: list[dict], key: str = "release_cycles") -> int:
+    """Index of the first sample after the memory limit was reached."""
+    for i, sample in enumerate(samples):
+        if sample.get(key, 0) > 0:
+            return i
+    return len(samples)

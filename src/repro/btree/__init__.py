@@ -1,0 +1,13 @@
+"""In-memory B+ tree — the alternative Index X.
+
+The paper implements IndeXY with either an ART or a B+ tree as the
+in-memory index.  This module provides the B+ tree variant with the same
+framework hooks as :mod:`repro.art` (D/C bits, sampled counters, leaf
+counts, key-space partitioning, subtree detach), so the IndeXY core treats
+both interchangeably through :class:`repro.core.interfaces.IndexX`.
+"""
+
+from repro.btree.tree import BPlusTree
+from repro.btree.node import BInner, BLeaf
+
+__all__ = ["BInner", "BLeaf", "BPlusTree"]

@@ -1,0 +1,158 @@
+"""Index X adapters: plug concrete trees into the framework.
+
+The paper integrates the ART codebase into the framework "by adding the
+framework's capabilities ... to its opened source code" (Section III-A).
+Here the trees already carry the per-node bookkeeping; the adapters only
+translate the framework's subtree vocabulary (refs, children, dirty
+iteration, detach) onto each tree's native structures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.art.nodes import InnerNode as ARTInnerNode
+from repro.art.tree import AdaptiveRadixTree, PartitionEntry
+from repro.btree.node import BInner
+from repro.btree.tree import BPlusTree, BTreePartitionEntry
+
+
+class ARTIndexX:
+    """Adapter exposing :class:`AdaptiveRadixTree` as an Index X."""
+
+    def __init__(self, tree: AdaptiveRadixTree) -> None:
+        self.tree = tree
+
+    # -- key-value operations -----------------------------------------
+    def insert(self, key: bytes, value: bytes, dirty: bool = True) -> bool:
+        return self.tree.insert(key, value, dirty)
+
+    def search(self, key: bytes) -> Optional[bytes]:
+        return self.tree.search(key)
+
+    def delete(self, key: bytes) -> bool:
+        return self.tree.delete(key)
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        return self.tree.scan(start, count)
+
+    def items(self, start: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        return self.tree.items(start)
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        return self.tree.memory_bytes
+
+    @property
+    def key_count(self) -> int:
+        return self.tree.key_count
+
+    # -- hotness monitoring ----------------------------------------------
+    def enable_tracking(self, sample_every: int) -> None:
+        self.tree.tracking_enabled = True
+        self.tree.sample_every = sample_every
+
+    # -- subtree machinery ------------------------------------------------
+    def root_ref(self) -> PartitionEntry:
+        return PartitionEntry(node=self.tree.root, byte=None, ancestors=[])
+
+    def partition(self, depth: int) -> list[PartitionEntry]:
+        return self.tree.partition(depth)
+
+    def child_refs(self, ref: PartitionEntry) -> list[PartitionEntry]:
+        """Children usable as release candidates (inner nodes only: ART
+        leaves carry no counters and are individually negligible)."""
+        node = ref.node
+        ancestors = ref.ancestors + [node]
+        return [
+            PartitionEntry(node=child, byte=byte, ancestors=ancestors)
+            for byte, child in node.children_items()
+            if isinstance(child, ARTInnerNode)
+        ]
+
+    def subtree_memory(self, ref: PartitionEntry) -> int:
+        return self.tree.subtree_memory(ref.node)
+
+    def iter_dirty_entries(self, ref: PartitionEntry) -> Iterator[tuple[bytes, bytes]]:
+        for leaf in self.tree.iter_dirty_leaves(ref.node):
+            yield leaf.key, leaf.value
+
+    def clear_dirty(self, ref: PartitionEntry) -> None:
+        self.tree.clear_dirty(ref.node)
+
+    def detach(self, ref: PartitionEntry) -> None:
+        self.tree.detach(ref)
+
+    def reset_access_counts(self) -> None:
+        self.tree.reset_access_counts(self.tree.root)
+
+
+class BTreeIndexX:
+    """Adapter exposing :class:`BPlusTree` as an Index X."""
+
+    def __init__(self, tree: BPlusTree) -> None:
+        self.tree = tree
+
+    # -- key-value operations -----------------------------------------
+    def insert(self, key: bytes, value: bytes, dirty: bool = True) -> bool:
+        return self.tree.insert(key, value, dirty)
+
+    def search(self, key: bytes) -> Optional[bytes]:
+        return self.tree.search(key)
+
+    def delete(self, key: bytes) -> bool:
+        return self.tree.delete(key)
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        return self.tree.scan(start, count)
+
+    def items(self, start: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        return self.tree.items(start)
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        return self.tree.memory_bytes
+
+    @property
+    def key_count(self) -> int:
+        return self.tree.key_count
+
+    # -- hotness monitoring ----------------------------------------------
+    def enable_tracking(self, sample_every: int) -> None:
+        self.tree.tracking_enabled = True
+        self.tree.sample_every = sample_every
+
+    # -- subtree machinery ------------------------------------------------
+    def root_ref(self) -> BTreePartitionEntry:
+        return BTreePartitionEntry(node=self.tree.root, child_index=None, ancestors=[])
+
+    def partition(self, depth: int) -> list[BTreePartitionEntry]:
+        return self.tree.partition(depth)
+
+    def child_refs(self, ref: BTreePartitionEntry) -> list[BTreePartitionEntry]:
+        """All children qualify: B+ leaves carry the framework counters."""
+        node = ref.node
+        if not isinstance(node, BInner):
+            return []
+        ancestors = ref.ancestors + [node]
+        return [
+            BTreePartitionEntry(node=child, child_index=i, ancestors=ancestors)
+            for i, child in enumerate(node.children)
+        ]
+
+    def subtree_memory(self, ref: BTreePartitionEntry) -> int:
+        return self.tree.subtree_memory(ref.node)
+
+    def iter_dirty_entries(self, ref: BTreePartitionEntry) -> Iterator[tuple[bytes, bytes]]:
+        yield from self.tree.iter_dirty_entries(ref.node)
+
+    def clear_dirty(self, ref: BTreePartitionEntry) -> None:
+        self.tree.clear_dirty(ref.node)
+
+    def detach(self, ref: BTreePartitionEntry) -> None:
+        self.tree.detach(ref)
+
+    def reset_access_counts(self) -> None:
+        self.tree.reset_access_counts(self.tree.root)

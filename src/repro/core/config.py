@@ -1,0 +1,71 @@
+"""Framework configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IndeXYConfig:
+    """Tuning knobs of the IndeXY framework.
+
+    Attributes:
+        memory_limit_bytes: the Index X memory budget (the paper's "index
+            size limit", e.g. 5 GB in the YCSB study; scaled down here).
+        high_watermark: fraction of the limit that triggers a release
+            cycle.
+        low_watermark: fraction the release cycle reduces the index to.
+            The gap between the two watermarks is the hysteresis that
+            prevents release thrash (Section II-A).
+        preclean_interval_inserts: the insert-count timer; the pre-cleaning
+            thread makes one list pass each time this many inserts land
+            (Section II-B).  Must stay well below the watermark gap in
+            keys, or releases outrun the cleaner and find dirty subtrees.
+        preclean_batch_keys: how many keys one pass aims to write back
+            (defaults to the timer interval, pace-matching the insert
+            rate).
+        partition_depth: starting tree level of the pre-cleaner's
+            inner-node list; the cleaner walks deeper if path compression
+            leaves fewer than ``min_partition_regions`` regions there.
+        min_partition_regions: minimum number of key regions the
+            pre-cleaner wants on its list (region granularity control,
+            Section II-B).
+        sample_every: counter-update sampling period for access/insert
+            statistics (Section II-C's overhead control).
+        density_variation_threshold: SplitAndReplace splits a node when its
+            children's density spread exceeds this fraction of the parent's
+            density (Algorithm 1; 20% default per the paper).
+        release_margin_fraction: acceptable overshoot above the release
+            target before the algorithm prefers splitting (Algorithm 1's
+            "margin").
+    """
+
+    memory_limit_bytes: int
+    high_watermark: float = 0.95
+    low_watermark: float = 0.80
+    preclean_interval_inserts: int = 512
+    preclean_batch_keys: int | None = None
+    partition_depth: int = 2
+    min_partition_regions: int = 16
+    sample_every: int = 4
+    density_variation_threshold: float = 0.20
+    release_margin_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.memory_limit_bytes <= 0:
+            raise ValueError("memory_limit_bytes must be positive")
+        if not 0 < self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low < high <= 1, got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if self.preclean_interval_inserts < 1:
+            raise ValueError("preclean_interval_inserts must be >= 1")
+
+    @property
+    def high_watermark_bytes(self) -> int:
+        return int(self.memory_limit_bytes * self.high_watermark)
+
+    @property
+    def low_watermark_bytes(self) -> int:
+        return int(self.memory_limit_bytes * self.low_watermark)

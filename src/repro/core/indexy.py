@@ -1,0 +1,246 @@
+"""The IndeXY facade: one extensible index across memory and disk.
+
+Wires together an Index X adapter, an Index Y, the memory budget, the
+pre-cleaner, and the release policy into a single ordered key-value index
+(Section II-A's architecture).  Data flow:
+
+* **insert** goes to Index X (dirty), advances the pre-cleaner's insert
+  timer, and — when the high watermark is crossed — triggers a release
+  cycle that persists and detaches the coldest subtrees;
+* **get** searches X first (X is the read cache); on a miss it consults Y
+  and, on a hit there, inserts the key into X *clean* (its copy in Y
+  survives, Section II-D);
+* **scan** merges X and Y ranges with X winning on duplicates (X holds the
+  freshest version of any key present in both).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import IndeXYConfig
+from repro.core.interfaces import IndexX, IndexY
+from repro.core.membudget import MemoryBudget
+from repro.core.precleaner import PreCleaner
+from repro.core.release import ReleasePolicy
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatCounters
+
+
+class IndeXY:
+    """An extensible index integrating Index X (memory) and Index Y (disk)."""
+
+    def __init__(
+        self,
+        index_x: IndexX,
+        index_y: IndexY,
+        config: IndeXYConfig,
+        release_policy: ReleasePolicy | None = None,
+        precleaning_enabled: bool = True,
+        check_back: bool = True,
+        load_on_miss: bool = True,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.x = index_x
+        self.y = index_y
+        self.config = config
+        self.stats = StatCounters()
+        self.budget = MemoryBudget(config)
+        self.precleaner = PreCleaner(
+            index_x,
+            index_y,
+            config,
+            stats=self.stats,
+            enabled=precleaning_enabled,
+            check_back=check_back,
+        )
+        self.release_policy = release_policy or ReleasePolicy(
+            "density", partition_depth=config.partition_depth
+        )
+        #: ablation switch: with ``load_on_miss`` off, Y hits are served
+        #: from Y every time instead of being cached into X.
+        self.load_on_miss = load_on_miss
+        self._y_populated = False
+        #: optional clock for charging release-lock stalls (see
+        #: :meth:`release_cycle`).
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # key-value operations
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, value: bytes) -> None:
+        self.x.insert(key, value, dirty=True)
+        self.stats.bump("inserts")
+        self._after_growth()
+        # Pre-cleaning only matters once unloading is on the horizon: it
+        # starts with statistics tracking at the low watermark, so an index
+        # that fits in memory never pays for it.
+        if self.budget.tracking_started:
+            self.precleaner.note_inserts(1)
+            if not self._y_populated and self.stats["preclean_writebacks"]:
+                self._y_populated = True
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self.x.search(key)
+        if value is not None:
+            self.stats.bump("x_hits")
+            return value
+        if not self._y_populated:
+            self.stats.bump("misses")
+            return None
+        value = self.y.get(key)
+        if value is None:
+            self.stats.bump("misses")
+            return None
+        self.stats.bump("y_hits")
+        if self.load_on_miss:
+            # Loaded keys enter X clean: their copy in Y survives, so a
+            # later release can drop them without any write-back.
+            self.x.insert(key, value, dirty=False)
+            self._after_growth()
+        return value
+
+    def delete(self, key: bytes) -> bool:
+        present_x = self.x.delete(key)
+        if self._y_populated:
+            self.y.delete(key)
+        self.stats.bump("deletes")
+        return present_x
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Merged range scan; X shadows Y on duplicate keys."""
+        from_x = self.x.scan(start, count)
+        if not self._y_populated:
+            return from_x[:count]
+        from_y = self.y.scan(start, count)
+        self.stats.bump("scans")
+        out: list[tuple[bytes, bytes]] = []
+        i = j = 0
+        while len(out) < count and (i < len(from_x) or j < len(from_y)):
+            if j >= len(from_y):
+                out.append(from_x[i])
+                i += 1
+            elif i >= len(from_x):
+                out.append(from_y[j])
+                j += 1
+            elif from_x[i][0] < from_y[j][0]:
+                out.append(from_x[i])
+                i += 1
+            elif from_x[i][0] > from_y[j][0]:
+                out.append(from_y[j])
+                j += 1
+            else:
+                out.append(from_x[i])  # X holds the freshest version
+                i += 1
+                j += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def set_memory_limit(self, limit_bytes: int) -> None:
+        """Adjust the Index X budget at runtime.
+
+        Used when the index shares an overall memory limit with other
+        consumers (the paper's TPC-C setup: the 30 GB workload limit minus
+        what the other eight tables' resident indexes occupy).
+        """
+        from dataclasses import replace
+
+        self.config = replace(self.config, memory_limit_bytes=max(1, limit_bytes))
+        self.budget.config = self.config
+        self.precleaner.config = self.config
+
+    def _after_growth(self) -> None:
+        memory = self.x.memory_bytes
+        if self.budget.should_start_tracking(memory):
+            self.x.enable_tracking(self.config.sample_every)
+            self.stats.bump("tracking_started")
+        if self.budget.over_high_watermark(memory):
+            self.release_cycle()
+
+    def release_cycle(self) -> int:
+        """Persist and detach cold subtrees until under the low watermark.
+
+        A subtree being released is locked against user access (Section
+        II-B), so any disk time its dirty write-back takes stalls the
+        foreground.  That stall is charged to the simulated CPU clock —
+        it is the cost pre-cleaning exists to remove: pre-cleaned subtrees
+        release with zero write-back and therefore zero stall.
+
+        Returns the number of bytes released.
+        """
+        memory = self.x.memory_bytes
+        target = self.budget.release_target_bytes(memory)
+        if target <= 0:
+            return 0
+        refs = self.release_policy.select(
+            self.x,
+            target,
+            self.config.release_margin_fraction,
+            self.config.density_variation_threshold,
+        )
+        released = 0
+        for ref in refs:
+            batch = list(self.x.iter_dirty_entries(ref))
+            if batch:
+                stall_ns = self._timed_writeback(batch)
+                self.stats.bump("release_writebacks")
+                self.stats.bump("release_keys_written", len(batch))
+                self.stats.bump("release_lock_stall_ns", stall_ns)
+            else:
+                self.stats.bump("release_clean_drops")
+            size = self.x.subtree_memory(ref)
+            self.x.detach(ref)
+            released += size
+        if released:
+            self._y_populated = True
+        # Fresh density epoch after a release (Section II-C).
+        self.x.reset_access_counts()
+        self.stats.bump("release_cycles")
+        self.stats.bump("released_bytes", released)
+        return released
+
+    def _timed_writeback(self, batch: list[tuple[bytes, bytes]]) -> float:
+        """Write ``batch`` to Y and charge its disk time as a lock stall.
+
+        The subtree lock blocks foreground access to that key region for
+        the duration of the write, so the write's disk time also shows up
+        as foreground CPU-side stall when a clock was provided.
+        """
+        disk = getattr(self.y, "disk", None)
+        busy_before = disk.busy_ns if disk is not None else 0.0
+        self.y.put_batch(batch)
+        if disk is None:
+            return 0.0
+        stall_ns = disk.busy_ns - busy_before
+        if self._clock is not None and stall_ns > 0:
+            self._clock.charge_cpu(stall_ns)
+        return stall_ns
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Total in-memory footprint: Index X plus Y's transfer buffers."""
+        return self.x.memory_bytes + self.y.memory_bytes
+
+    @property
+    def key_count_x(self) -> int:
+        return self.x.key_count
+
+    def flush(self) -> None:
+        """Persist every dirty key to Y (checkpoint / shutdown)."""
+        root = self.x.root_ref()
+        batch = list(self.x.iter_dirty_entries(root))
+        if batch:
+            self.y.put_batch(batch)
+            self._y_populated = True
+        self.x.clear_dirty(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IndeXY(x_keys={self.x.key_count}, x_bytes={self.x.memory_bytes}, "
+            f"limit={self.config.memory_limit_bytes})"
+        )

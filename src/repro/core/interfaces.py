@@ -1,0 +1,104 @@
+"""Protocols connecting Index X, Index Y, and the framework.
+
+The paper's design goal is *decoupling*: the framework must accept any
+order-preserving in-memory index and any on-disk index without either
+knowing about the other.  These protocols are that contract.
+
+``SubtreeRef`` is the framework's handle on a subtree of Index X: an
+opaque node plus enough parent context to detach it.  Both tree
+implementations' partition-entry types satisfy it structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SubtreeNode(Protocol):
+    """What the framework reads and writes on an Index X inner node.
+
+    This is the "extra 2–4 bytes" the paper asks of Index X inner nodes
+    (Section III-G): the D bit, the C bit, sampled counters, and a subtree
+    size estimate (exact here).
+    """
+
+    dirty: bool
+    clean_candidate: bool
+    access_count: int
+    insert_count: int
+
+    @property
+    def leaf_count(self) -> int: ...
+
+
+@runtime_checkable
+class SubtreeRef(Protocol):
+    """A detachable subtree: the node plus its ancestor context."""
+
+    @property
+    def node(self): ...
+
+
+class IndexX(Protocol):
+    """The in-memory index as the framework sees it.
+
+    Implementations adapt a concrete ordered tree (ART, B+) to this
+    interface; see :mod:`repro.core.adapters`.
+    """
+
+    # -- key-value operations -----------------------------------------
+    def insert(self, key: bytes, value: bytes, dirty: bool = True) -> bool: ...
+
+    def search(self, key: bytes) -> Optional[bytes]: ...
+
+    def delete(self, key: bytes) -> bool: ...
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]: ...
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def memory_bytes(self) -> int: ...
+
+    @property
+    def key_count(self) -> int: ...
+
+    # -- hotness monitoring ----------------------------------------------
+    def enable_tracking(self, sample_every: int) -> None: ...
+
+    # -- subtree machinery ------------------------------------------------
+    def root_ref(self) -> SubtreeRef: ...
+
+    def partition(self, depth: int) -> list[SubtreeRef]: ...
+
+    def child_refs(self, ref: SubtreeRef) -> list[SubtreeRef]: ...
+
+    def subtree_memory(self, ref: SubtreeRef) -> int: ...
+
+    def iter_dirty_entries(self, ref: SubtreeRef) -> Iterator[tuple[bytes, bytes]]: ...
+
+    def clear_dirty(self, ref: SubtreeRef) -> None: ...
+
+    def detach(self, ref: SubtreeRef) -> None: ...
+
+    def reset_access_counts(self) -> None: ...
+
+
+class IndexY(Protocol):
+    """The on-disk index as the framework sees it.
+
+    The paper prefers Index Y candidates that bring their own write buffer
+    and read cache (Section III-G) — both provided implementations do, and
+    the framework sizes them minimally (they are only the transfer buffer).
+    """
+
+    def put_batch(self, pairs: list[tuple[bytes, bytes]]) -> None: ...
+
+    def get(self, key: bytes) -> Optional[bytes]: ...
+
+    def delete(self, key: bytes) -> None: ...
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]: ...
+
+    @property
+    def memory_bytes(self) -> int: ...

@@ -1,0 +1,37 @@
+"""Memory budget with two watermarks.
+
+The framework monitors the Index X size; crossing the high watermark
+triggers a release cycle that reduces the index below the low watermark.
+The two-watermark hysteresis minimizes "memory size oscillation due to
+frequent triggering of index unloading" (Section II-A).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import IndeXYConfig
+
+
+class MemoryBudget:
+    """Watermark bookkeeping for one framework instance."""
+
+    def __init__(self, config: IndeXYConfig) -> None:
+        self.config = config
+        #: set once the low watermark is first reached; the paper begins
+        #: collecting access statistics at this point (Section II-C).
+        self.tracking_started = False
+
+    def over_high_watermark(self, memory_bytes: int) -> bool:
+        return memory_bytes >= self.config.high_watermark_bytes
+
+    def should_start_tracking(self, memory_bytes: int) -> bool:
+        """True exactly once, when the low watermark is first crossed."""
+        if self.tracking_started:
+            return False
+        if memory_bytes >= self.config.low_watermark_bytes:
+            self.tracking_started = True
+            return True
+        return False
+
+    def release_target_bytes(self, memory_bytes: int) -> int:
+        """How many bytes a release cycle must free."""
+        return max(0, memory_bytes - self.config.low_watermark_bytes)

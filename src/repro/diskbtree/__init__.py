@@ -1,0 +1,32 @@
+"""Page-based on-disk B+ tree with a buffer pool.
+
+This subpackage plays two roles in the reproduction:
+
+1. **Index Y** for the ART-B+ configuration: a disk-resident B+ tree with
+   a deliberately small buffer pool acting as the framework's transfer
+   buffer (write aggregation + recently-read pages, Section II-D).
+2. **The coupled B+-B+ system** (the paper's LeanStore baseline): the same
+   tree with a large buffer pool equal to the memory limit, pointer
+   swizzling for resident children, and LeanStore's write-back policy in
+   which the most-dirtied pages are flushed (and evicted) first — the
+   behaviour behind the paper's Figure 10 page-size result.
+
+Pages live on the simulated disk as whole-page blobs; every page miss is a
+random read, every page write-back a random write, so the on-disk
+split/merge amplification the paper attributes to B+-tree Index Y shows up
+directly in the disk counters.
+"""
+
+from repro.diskbtree.bufferpool import BufferPool, BufferPoolConfig
+from repro.diskbtree.page import InnerPage, LeafPage, decode_page, encode_page
+from repro.diskbtree.tree import DiskBPlusTree
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolConfig",
+    "DiskBPlusTree",
+    "InnerPage",
+    "LeafPage",
+    "decode_page",
+    "encode_page",
+]

@@ -1,0 +1,224 @@
+"""Buffer pool with swizzled residency, clock eviction, and LeanStore's
+most-dirtied-first write-back.
+
+Frames hold decoded page objects (the "swizzled" representation: child page
+ids resolve through the pool without re-decoding).  Two mechanisms move
+pages out:
+
+* **Eviction on pressure** — a clock (second-chance) sweep picks frames
+  whose reference bit has expired; dirty victims are written back first.
+* **Proactive write-back** — when the dirty fraction of the pool crosses a
+  threshold, the frames with the *most dirty entries* are flushed and
+  evicted first.  This is LeanStore's policy as described in the paper's
+  Figure 10 discussion, and it is exactly what makes small pages churn
+  (they saturate with dirty entries quickly, get evicted, and force
+  read-modify-writes when their key range is hit again) while large pages
+  absorb more inserts per write-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diskbtree.page import Page, decode_page, encode_page
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.stats import StatCounters
+
+
+@dataclass(frozen=True)
+class BufferPoolConfig:
+    """Pool knobs.
+
+    ``capacity_bytes`` counts whole page frames.  ``dirty_fraction`` and
+    ``writeback_batch_fraction`` control the proactive flush behaviour.
+    """
+
+    capacity_bytes: int
+    page_size: int = 4096
+    dirty_fraction: float = 0.5
+    writeback_batch_fraction: float = 0.1
+
+
+class _Frame:
+    __slots__ = ("page", "dirty", "dirty_entries", "referenced", "pins")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.dirty = False
+        self.dirty_entries = 0
+        self.referenced = True
+        self.pins = 0
+
+
+class BufferPool:
+    """Maps page ids (disk offsets) to resident decoded pages."""
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        config: BufferPoolConfig,
+        clock: SimClock | None = None,
+        costs: CostModel | None = None,
+    ) -> None:
+        if config.capacity_bytes < 2 * config.page_size:
+            raise ValueError("buffer pool must hold at least two pages")
+        self.disk = disk
+        self.config = config
+        self.clock = clock
+        self.costs = costs or CostModel()
+        self.stats = StatCounters()
+        self._frames: dict[int, _Frame] = {}
+        self._clock_order: list[int] = []
+        self._hand = 0
+
+    # ------------------------------------------------------------------
+    # page access
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        return len(self._frames)
+
+    @property
+    def capacity_frames(self) -> int:
+        return self.config.capacity_bytes // self.config.page_size
+
+    @property
+    def used_bytes(self) -> int:
+        return len(self._frames) * self.config.page_size
+
+    def is_resident(self, pid: int) -> bool:
+        return pid in self._frames
+
+    def get_page(self, pid: int) -> Page:
+        """Return the page, faulting it in from disk on a miss."""
+        frame = self._frames.get(pid)
+        if frame is not None:
+            frame.referenced = True
+            self.stats.bump("pool_hits")
+            return frame.page
+        self.stats.bump("pool_misses")
+        blob = self.disk.read(pid)
+        if self.clock is not None:
+            self.clock.charge_cpu(self.costs.copy_cost(len(blob)))
+        page = decode_page(blob)
+        self._admit(pid, page, dirty=False)
+        return page
+
+    def new_page(self, page: Page) -> int:
+        """Allocate a page id for ``page`` and admit it dirty."""
+        pid = self.disk.allocate(self.config.page_size)
+        self._admit(pid, page, dirty=True)
+        self.stats.bump("pages_allocated")
+        return pid
+
+    def mark_dirty(self, pid: int, mutated_entries: int = 1) -> None:
+        frame = self._frames[pid]
+        frame.dirty = True
+        frame.dirty_entries += mutated_entries
+        frame.referenced = True
+        self._maybe_proactive_writeback()
+
+    def pin(self, pid: int) -> None:
+        self._frames[pid].pins += 1
+
+    def unpin(self, pid: int) -> None:
+        frame = self._frames[pid]
+        if frame.pins <= 0:
+            raise RuntimeError(f"page {pid} is not pinned")
+        frame.pins -= 1
+
+    def drop_page(self, pid: int) -> None:
+        """Discard a page that the tree freed (no write-back)."""
+        frame = self._frames.pop(pid, None)
+        if frame is not None:
+            self._clock_order.remove(pid)
+        self.disk.free(pid)
+
+    # ------------------------------------------------------------------
+    # eviction / write-back
+    # ------------------------------------------------------------------
+    def _admit(self, pid: int, page: Page, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity_frames:
+            if not self._evict_one():
+                break  # everything pinned: temporarily overcommit
+        frame = _Frame(page)
+        frame.dirty = dirty
+        self._frames[pid] = frame
+        self._clock_order.append(pid)
+
+    def _evict_one(self) -> bool:
+        """Second-chance sweep; returns False if nothing is evictable."""
+        attempts = 0
+        limit = 2 * len(self._clock_order)
+        while attempts < limit and self._clock_order:
+            self._hand %= len(self._clock_order)
+            pid = self._clock_order[self._hand]
+            frame = self._frames[pid]
+            if frame.pins > 0:
+                self._hand += 1
+            elif frame.referenced:
+                frame.referenced = False
+                self._hand += 1
+            else:
+                self._evict_frame(pid)
+                return True
+            attempts += 1
+        # Second pass found nothing unreferenced: evict the first unpinned.
+        for pid in list(self._clock_order):
+            if self._frames[pid].pins == 0:
+                self._evict_frame(pid)
+                return True
+        return False
+
+    def _evict_frame(self, pid: int) -> None:
+        frame = self._frames[pid]
+        if frame.dirty:
+            self._write_back(pid, frame)
+        del self._frames[pid]
+        index = self._clock_order.index(pid)
+        self._clock_order.pop(index)
+        if index < self._hand:
+            self._hand -= 1
+        self.stats.bump("evictions")
+
+    def _write_back(self, pid: int, frame: _Frame) -> None:
+        blob = encode_page(frame.page)
+        if len(blob) > self.config.page_size:
+            raise RuntimeError(
+                f"page {pid} overflows its {self.config.page_size}-byte frame "
+                f"({len(blob)} bytes); the tree must split before write-back"
+            )
+        self.disk.write(pid, blob)
+        if self.clock is not None:
+            self.clock.charge_cpu(self.costs.copy_cost(len(blob)))
+        frame.dirty = False
+        frame.dirty_entries = 0
+        self.stats.bump("writebacks")
+        self.stats.bump("writeback_bytes", len(blob))
+
+    def _maybe_proactive_writeback(self) -> None:
+        """LeanStore policy: flush-and-evict the most-dirtied frames."""
+        if len(self._frames) < self.capacity_frames:
+            return
+        dirty_frames = [(pid, f) for pid, f in self._frames.items() if f.dirty]
+        if len(dirty_frames) < self.config.dirty_fraction * len(self._frames):
+            return
+        batch = max(1, int(self.config.writeback_batch_fraction * len(self._frames)))
+        dirty_frames.sort(key=lambda item: item[1].dirty_entries, reverse=True)
+        for pid, frame in dirty_frames[:batch]:
+            if frame.pins > 0:
+                continue
+            self._evict_frame(pid)
+            self.stats.bump("proactive_writebacks")
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (shutdown / checkpoint)."""
+        for pid, frame in self._frames.items():
+            if frame.dirty:
+                self._write_back(pid, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dirty = sum(1 for f in self._frames.values() if f.dirty)
+        return f"BufferPool(frames={len(self._frames)}/{self.capacity_frames}, dirty={dirty})"

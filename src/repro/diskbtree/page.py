@@ -1,0 +1,126 @@
+"""Page layouts and codec for the on-disk B+ tree.
+
+A page is a leaf (sorted key/value entries plus a next-leaf link) or an
+inner node (separators plus child page ids).  Pages serialize to
+length-prefixed records; the byte-size helpers let the tree decide when a
+page overflows its fixed on-disk size and must split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+PAGE_HEADER_BYTES = 32
+_LEAF_TAG = 1
+_INNER_TAG = 2
+_NO_PAGE = (1 << 64) - 1
+
+
+class LeafPage:
+    """Sorted entries; ``next_leaf`` chains leaves for range scans."""
+
+    __slots__ = ("keys", "values", "next_leaf")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []
+        self.next_leaf: Optional[int] = None
+
+    def payload_bytes(self) -> int:
+        return PAGE_HEADER_BYTES + sum(
+            6 + len(k) + len(v) for k, v in zip(self.keys, self.values)
+        )
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeafPage(n={len(self.keys)})"
+
+
+class InnerPage:
+    """Separators and child page ids; ``len(children) == len(separators)+1``."""
+
+    __slots__ = ("separators", "children")
+
+    def __init__(self) -> None:
+        self.separators: list[bytes] = []
+        self.children: list[int] = []
+
+    def payload_bytes(self) -> int:
+        return PAGE_HEADER_BYTES + sum(2 + len(s) for s in self.separators) + 8 * len(
+            self.children
+        )
+
+    def child_slot(self, key: bytes) -> int:
+        import bisect
+
+        return bisect.bisect_right(self.separators, key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InnerPage(children={len(self.children)})"
+
+
+Page = Union[LeafPage, InnerPage]
+
+
+def encode_page(page: Page) -> bytes:
+    """Serialize a page to bytes (variable length, <= the page size)."""
+    parts: list[bytes] = []
+    if isinstance(page, LeafPage):
+        parts.append(bytes([_LEAF_TAG]))
+        next_leaf = _NO_PAGE if page.next_leaf is None else page.next_leaf
+        parts.append(next_leaf.to_bytes(8, "big"))
+        parts.append(len(page.keys).to_bytes(4, "big"))
+        for key, value in zip(page.keys, page.values):
+            parts.append(len(key).to_bytes(2, "big"))
+            parts.append(len(value).to_bytes(4, "big"))
+            parts.append(key)
+            parts.append(value)
+    else:
+        parts.append(bytes([_INNER_TAG]))
+        parts.append(len(page.separators).to_bytes(4, "big"))
+        for sep in page.separators:
+            parts.append(len(sep).to_bytes(2, "big"))
+            parts.append(sep)
+        for child in page.children:
+            parts.append(child.to_bytes(8, "big"))
+    return b"".join(parts)
+
+
+def decode_page(blob: bytes) -> Page:
+    """Invert :func:`encode_page`."""
+    tag = blob[0]
+    pos = 1
+    if tag == _LEAF_TAG:
+        leaf = LeafPage()
+        next_leaf = int.from_bytes(blob[pos : pos + 8], "big")
+        leaf.next_leaf = None if next_leaf == _NO_PAGE else next_leaf
+        pos += 8
+        count = int.from_bytes(blob[pos : pos + 4], "big")
+        pos += 4
+        for __ in range(count):
+            klen = int.from_bytes(blob[pos : pos + 2], "big")
+            pos += 2
+            vlen = int.from_bytes(blob[pos : pos + 4], "big")
+            pos += 4
+            leaf.keys.append(blob[pos : pos + klen])
+            pos += klen
+            leaf.values.append(blob[pos : pos + vlen])
+            pos += vlen
+        return leaf
+    if tag == _INNER_TAG:
+        inner = InnerPage()
+        count = int.from_bytes(blob[pos : pos + 4], "big")
+        pos += 4
+        for __ in range(count):
+            slen = int.from_bytes(blob[pos : pos + 2], "big")
+            pos += 2
+            inner.separators.append(blob[pos : pos + slen])
+            pos += slen
+        for __ in range(count + 1):
+            inner.children.append(int.from_bytes(blob[pos : pos + 8], "big"))
+            pos += 8
+        return inner
+    raise ValueError(f"unknown page tag {tag}")

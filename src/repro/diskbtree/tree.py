@@ -1,0 +1,251 @@
+"""Page-based B+ tree over the buffer pool.
+
+Every structural decision that costs the paper's B+-tree Index Y its
+performance is physically present here: point inserts dirty whole pages,
+page overflow splits allocate and dirty new pages, evicted leaves must be
+re-read (random I/O) before they can absorb another insert, and all of it
+is charged per page access.
+
+The same class serves as the LeanStore-analogue engine (large pool) and as
+the framework's Index Y (small transfer-buffer pool).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.diskbtree.bufferpool import BufferPool, BufferPoolConfig
+from repro.diskbtree.page import InnerPage, LeafPage, Page
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.stats import StatCounters
+
+import bisect
+
+
+class DiskBPlusTree:
+    """An on-disk B+ tree: page-granular storage, split-on-overflow."""
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        pool_bytes: int,
+        page_size: int = 4096,
+        clock: SimClock | None = None,
+        costs: CostModel | None = None,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs or CostModel()
+        self.page_size = page_size
+        self.pool = BufferPool(
+            disk,
+            BufferPoolConfig(capacity_bytes=pool_bytes, page_size=page_size),
+            clock=clock,
+            costs=self.costs,
+        )
+        self.stats = StatCounters()
+        root = LeafPage()
+        self._root_pid = self.pool.new_page(root)
+        self.key_count = 0
+
+    # ------------------------------------------------------------------
+    # cost charging
+    # ------------------------------------------------------------------
+    def _charge_levels(self, levels: int, extra_ns: float = 0.0) -> None:
+        if self.clock is not None:
+            self.clock.charge_cpu(levels * self.costs.page_access + extra_ns)
+
+    # ------------------------------------------------------------------
+    # descent
+    # ------------------------------------------------------------------
+    def _descend(self, key: bytes) -> tuple[list[tuple[int, int]], int, LeafPage]:
+        """Walk to the leaf for ``key``.
+
+        Returns ``(path, leaf_pid, leaf)`` where path holds
+        ``(inner_pid, child_slot)`` pairs from the root downward.  Path
+        pages are pinned; the caller must release them via `_unpin_path`.
+        """
+        path: list[tuple[int, int]] = []
+        pid = self._root_pid
+        levels = 0
+        while True:
+            page = self.pool.get_page(pid)
+            self.pool.pin(pid)
+            levels += 1
+            if isinstance(page, LeafPage):
+                self._charge_levels(levels)
+                return path, pid, page
+            slot = page.child_slot(key)
+            path.append((pid, slot))
+            pid = page.children[slot]
+
+    def _unpin_path(self, path: list[tuple[int, int]], leaf_pid: int) -> None:
+        for pid, __ in path:
+            self.pool.unpin(pid)
+        self.pool.unpin(leaf_pid)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        path, leaf_pid, leaf = self._descend(key)
+        try:
+            i = bisect.bisect_left(leaf.keys, key)
+            if i < len(leaf.keys) and leaf.keys[i] == key:
+                return leaf.values[i]
+            return None
+        finally:
+            self._unpin_path(path, leaf_pid)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Range scan along the leaf chain."""
+        path, leaf_pid, leaf = self._descend(start)
+        self._unpin_path(path, leaf_pid)
+        out: list[tuple[bytes, bytes]] = []
+        pid: Optional[int] = leaf_pid
+        page: Optional[LeafPage] = leaf
+        while page is not None and len(out) < count:
+            i = bisect.bisect_left(page.keys, start)
+            for j in range(i, len(page.keys)):
+                out.append((page.keys[j], page.values[j]))
+                if len(out) >= count:
+                    break
+            pid = page.next_leaf
+            if pid is None or len(out) >= count:
+                break
+            page = self.pool.get_page(pid)
+            self._charge_levels(1)
+        return out
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Full ordered iteration (used by tests and verification)."""
+        pid: Optional[int] = self._leftmost_leaf()
+        while pid is not None:
+            page = self.pool.get_page(pid)
+            assert isinstance(page, LeafPage)
+            yield from zip(page.keys, page.values)
+            pid = page.next_leaf
+
+    def _leftmost_leaf(self) -> int:
+        pid = self._root_pid
+        while True:
+            page = self.pool.get_page(pid)
+            if isinstance(page, LeafPage):
+                return pid
+            pid = page.children[0]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or overwrite; returns True when the key is new."""
+        path, leaf_pid, leaf = self._descend(key)
+        try:
+            i = bisect.bisect_left(leaf.keys, key)
+            if i < len(leaf.keys) and leaf.keys[i] == key:
+                leaf.values[i] = value
+                self.pool.mark_dirty(leaf_pid)
+                self._charge_levels(0, self.costs.leaf_mutate)
+                return False
+            leaf.keys.insert(i, key)
+            leaf.values.insert(i, value)
+            self.key_count += 1
+            self.pool.mark_dirty(leaf_pid)
+            self._charge_levels(0, self.costs.leaf_mutate)
+            if leaf.payload_bytes() > self.page_size:
+                # Splits consume their own copy of the path; the original
+                # stays intact for unpinning in the ``finally`` below.
+                self._split_leaf(leaf_pid, leaf, list(path))
+            return True
+        finally:
+            self._unpin_path(path, leaf_pid)
+
+    def put_batch(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Batched sorted writes from the framework's pre-cleaner."""
+        for key, value in pairs:
+            self.put(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        path, leaf_pid, leaf = self._descend(key)
+        try:
+            i = bisect.bisect_left(leaf.keys, key)
+            if i >= len(leaf.keys) or leaf.keys[i] != key:
+                return False
+            del leaf.keys[i], leaf.values[i]
+            self.key_count -= 1
+            self.pool.mark_dirty(leaf_pid)
+            self._charge_levels(0, self.costs.leaf_mutate)
+            # Lazy shrink: empty leaves stay linked until their parent slot
+            # is reused; full rebalancing is unnecessary for the studied
+            # workloads (the framework shrinks by subtree, not by key).
+            return True
+        finally:
+            self._unpin_path(path, leaf_pid)
+
+    # ------------------------------------------------------------------
+    # splits
+    # ------------------------------------------------------------------
+    def _split_leaf(self, pid: int, leaf: LeafPage, path: list[tuple[int, int]]) -> None:
+        mid = len(leaf.keys) // 2
+        right = LeafPage()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next_leaf = leaf.next_leaf
+        del leaf.keys[mid:], leaf.values[mid:]
+        right_pid = self.pool.new_page(right)
+        leaf.next_leaf = right_pid
+        self.pool.mark_dirty(pid, mutated_entries=len(leaf.keys))
+        separator = right.keys[0]
+        self.stats.bump("leaf_splits")
+        self._charge_levels(0, self.costs.node_alloc + self.costs.copy_cost(self.page_size // 2))
+        self._insert_separator(separator, right_pid, path)
+
+    def _insert_separator(
+        self, separator: bytes, right_pid: int, path: list[tuple[int, int]]
+    ) -> None:
+        if not path:
+            new_root = InnerPage()
+            old_root = self._root_pid
+            new_root.children = [old_root, right_pid]
+            new_root.separators = [separator]
+            self._root_pid = self.pool.new_page(new_root)
+            self.stats.bump("height_growths")
+            return
+        parent_pid, slot = path.pop()
+        parent = self.pool.get_page(parent_pid)
+        assert isinstance(parent, InnerPage)
+        parent.separators.insert(slot, separator)
+        parent.children.insert(slot + 1, right_pid)
+        self.pool.mark_dirty(parent_pid)
+        if parent.payload_bytes() > self.page_size:
+            self._split_inner(parent_pid, parent, path)
+
+    def _split_inner(self, pid: int, inner: InnerPage, path: list[tuple[int, int]]) -> None:
+        mid = len(inner.separators) // 2
+        promoted = inner.separators[mid]
+        right = InnerPage()
+        right.separators = inner.separators[mid + 1 :]
+        right.children = inner.children[mid + 1 :]
+        del inner.separators[mid:], inner.children[mid + 1 :]
+        right_pid = self.pool.new_page(right)
+        self.pool.mark_dirty(pid)
+        self.stats.bump("inner_splits")
+        self._charge_levels(0, self.costs.node_alloc)
+        self._insert_separator(promoted, right_pid, path)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        return self.pool.used_bytes
+
+    def flush_all(self) -> None:
+        self.pool.flush_all()
+
+    def __len__(self) -> int:
+        return self.key_count

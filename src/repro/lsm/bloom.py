@@ -1,0 +1,57 @@
+"""Bloom filter with deterministic double hashing.
+
+Python's built-in ``hash`` is randomized per process, so the filter hashes
+with FNV-1a and a second mixing constant instead — runs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    """64-bit FNV-1a hash."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    return h
+
+
+class BloomFilter:
+    """A fixed-size bloom filter sized by bits-per-key."""
+
+    def __init__(self, expected_keys: int, bits_per_key: int = 10) -> None:
+        if expected_keys < 1:
+            expected_keys = 1
+        self.num_bits = max(64, expected_keys * bits_per_key)
+        self.num_hashes = max(1, int(bits_per_key * 0.69))  # ln2 * bits/key
+        self._bits = bytearray((self.num_bits + 7) // 8)
+
+    @classmethod
+    def build(cls, keys: Iterable[bytes], bits_per_key: int = 10) -> "BloomFilter":
+        keys = list(keys)
+        bloom = cls(len(keys), bits_per_key)
+        for key in keys:
+            bloom.add(key)
+        return bloom
+
+    def _positions(self, key: bytes) -> Iterable[int]:
+        h = fnv1a(key)
+        delta = ((h >> 33) | (h << 31)) & _MASK64 | 1
+        for __ in range(self.num_hashes):
+            yield h % self.num_bits
+            h = (h + delta) & _MASK64
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+
+    def memory_bytes(self) -> int:
+        return len(self._bits)

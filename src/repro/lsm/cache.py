@@ -1,0 +1,67 @@
+"""Byte-budgeted LRU cache.
+
+Used as the LSM block cache and row cache, and as the on-disk B+ tree's
+small transfer-buffer read cache.  Entries are charged by a caller-supplied
+byte size so the budget is a real memory budget, matching how the paper
+configures these caches to "a few megabytes" (Section II-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """LRU mapping with a total-bytes capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[K, tuple[V, int]] = OrderedDict()
+
+    def get(self, key: K) -> Optional[V]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: K, value: V, nbytes: int) -> None:
+        """Insert ``value`` charged at ``nbytes``; oversized values are skipped."""
+        if nbytes > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.used_bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self.used_bytes += nbytes
+        while self.used_bytes > self.capacity_bytes:
+            __, (___, size) = self._entries.popitem(last=False)
+            self.used_bytes -= size
+            self.evictions += 1
+
+    def invalidate(self, key: K) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.used_bytes -= entry[1]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,237 @@
+"""Sorted string tables.
+
+An SSTable is an immutable run of sorted key/value pairs laid out as fixed
+-budget data blocks on the simulated disk, plus two small in-memory
+structures: a block index (first key + offset per block) and a bloom
+filter.  Tables are written strictly sequentially — the whole point of the
+LSM design the paper selects as its disk-friendly Index Y.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.cache import LRUCache
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+
+_KLEN_BYTES = 2
+_VLEN_BYTES = 4
+
+
+def encode_block(entries: list[tuple[bytes, bytes]]) -> bytes:
+    """Serialize entries as length-prefixed key/value records."""
+    parts: list[bytes] = []
+    for key, value in entries:
+        parts.append(len(key).to_bytes(_KLEN_BYTES, "big"))
+        parts.append(len(value).to_bytes(_VLEN_BYTES, "big"))
+        parts.append(key)
+        parts.append(value)
+    return b"".join(parts)
+
+
+def decode_block(blob: bytes) -> list[tuple[bytes, bytes]]:
+    """Invert :func:`encode_block`."""
+    entries: list[tuple[bytes, bytes]] = []
+    pos = 0
+    end = len(blob)
+    while pos < end:
+        klen = int.from_bytes(blob[pos : pos + _KLEN_BYTES], "big")
+        pos += _KLEN_BYTES
+        vlen = int.from_bytes(blob[pos : pos + _VLEN_BYTES], "big")
+        pos += _VLEN_BYTES
+        key = blob[pos : pos + klen]
+        pos += klen
+        value = blob[pos : pos + vlen]
+        pos += vlen
+        entries.append((key, value))
+    return entries
+
+
+class SSTable:
+    """One immutable sorted run on disk."""
+
+    def __init__(
+        self,
+        table_id: int,
+        disk: SimDisk,
+        block_offsets: list[int],
+        block_first_keys: list[bytes],
+        bloom: BloomFilter,
+        min_key: bytes,
+        max_key: bytes,
+        entry_count: int,
+        data_bytes: int,
+    ) -> None:
+        self.table_id = table_id
+        self._disk = disk
+        self._block_offsets = block_offsets
+        self._block_first_keys = block_first_keys
+        self.bloom = bloom
+        self.min_key = min_key
+        self.max_key = max_key
+        self.entry_count = entry_count
+        self.data_bytes = data_bytes
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        table_id: int,
+        disk: SimDisk,
+        pairs: list[tuple[bytes, bytes]],
+        block_size: int = 4096,
+        bits_per_key: int = 10,
+        clock: SimClock | None = None,
+        costs: CostModel | None = None,
+        background: bool = False,
+    ) -> "SSTable":
+        """Write ``pairs`` (sorted, unique keys) as a new table.
+
+        The extent is allocated once and blocks are written back-to-back,
+        so every write after the first is sequential on the device.
+        """
+        if not pairs:
+            raise ValueError("cannot build an empty SSTable")
+        costs = costs or CostModel()
+
+        blocks: list[list[tuple[bytes, bytes]]] = []
+        current: list[tuple[bytes, bytes]] = []
+        current_bytes = 0
+        for key, value in pairs:
+            entry_bytes = _KLEN_BYTES + _VLEN_BYTES + len(key) + len(value)
+            if current and current_bytes + entry_bytes > block_size:
+                blocks.append(current)
+                current = []
+                current_bytes = 0
+            current.append((key, value))
+            current_bytes += entry_bytes
+        blocks.append(current)
+
+        encoded = [encode_block(b) for b in blocks]
+        total = sum(len(e) for e in encoded)
+        base = disk.allocate(total)
+        offsets: list[int] = []
+        first_keys: list[bytes] = []
+        cursor = base
+        cpu_ns = 0.0
+        for block, blob in zip(blocks, encoded):
+            disk.write(cursor, blob)
+            offsets.append(cursor)
+            first_keys.append(block[0][0])
+            cursor += len(blob)
+            cpu_ns += costs.copy_cost(len(blob))
+        if clock is not None:
+            if background:
+                clock.charge_background(cpu_ns)
+            else:
+                clock.charge_cpu(cpu_ns)
+
+        bloom = BloomFilter.build((k for k, __ in pairs), bits_per_key)
+        return cls(
+            table_id=table_id,
+            disk=disk,
+            block_offsets=offsets,
+            block_first_keys=first_keys,
+            bloom=bloom,
+            min_key=pairs[0][0],
+            max_key=pairs[-1][0],
+            entry_count=len(pairs),
+            data_bytes=total,
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _block_index_for(self, key: bytes) -> int:
+        """Index of the block that could contain ``key``."""
+        i = bisect.bisect_right(self._block_first_keys, key) - 1
+        return max(i, 0)
+
+    def _load_block(
+        self, index: int, block_cache: LRUCache | None
+    ) -> list[tuple[bytes, bytes]]:
+        cache_key = (self.table_id, index)
+        if block_cache is not None:
+            cached = block_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        blob = self._disk.read(self._block_offsets[index])
+        entries = decode_block(blob)
+        if block_cache is not None:
+            block_cache.put(cache_key, entries, len(blob))
+        return entries
+
+    def get(
+        self,
+        key: bytes,
+        block_cache: LRUCache | None = None,
+        clock: SimClock | None = None,
+        costs: CostModel | None = None,
+    ) -> Optional[bytes]:
+        """Point lookup; bloom-filter negative answers avoid any I/O."""
+        costs = costs or CostModel()
+        if clock is not None:
+            clock.charge_cpu(costs.bloom_probe)
+        if key < self.min_key or key > self.max_key:
+            return None
+        if not self.bloom.may_contain(key):
+            return None
+        index = self._block_index_for(key)
+        entries = self._load_block(index, block_cache)
+        if clock is not None:
+            import math
+
+            comparisons = max(1, int(math.log2(len(entries) + 1)))
+            clock.charge_cpu(costs.compare_cost(comparisons) + costs.hash_probe)
+        i = bisect.bisect_left(entries, (key, b""))
+        if i < len(entries) and entries[i][0] == key:
+            return entries[i][1]
+        return None
+
+    def iter_from(
+        self, start: bytes | None = None, block_cache: LRUCache | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield pairs with key >= ``start`` in order, reading block by block."""
+        first = 0 if start is None else self._block_index_for(start)
+        for index in range(first, len(self._block_offsets)):
+            for key, value in self._load_block(index, block_cache):
+                if start is None or key >= start:
+                    yield key, value
+
+    def iter_all(self, block_cache: LRUCache | None = None) -> Iterator[tuple[bytes, bytes]]:
+        return self.iter_from(None, block_cache)
+
+    # ------------------------------------------------------------------
+    # lifecycle / accounting
+    # ------------------------------------------------------------------
+    def free(self) -> None:
+        """Release the table's disk extents (after compaction)."""
+        for offset in self._block_offsets:
+            self._disk.free(offset)
+
+    def overlaps(self, other: "SSTable") -> bool:
+        return self.min_key <= other.max_key and other.min_key <= self.max_key
+
+    def overlaps_range(self, low: bytes, high: bytes) -> bool:
+        return self.min_key <= high and low <= self.max_key
+
+    def index_memory_bytes(self) -> int:
+        """In-memory footprint: block index plus bloom filter."""
+        index_bytes = sum(len(k) + 8 for k in self._block_first_keys)
+        return index_bytes + self.bloom.memory_bytes()
+
+    @property
+    def block_count(self) -> int:
+        return len(self._block_offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTable(id={self.table_id}, entries={self.entry_count}, "
+            f"blocks={self.block_count})"
+        )

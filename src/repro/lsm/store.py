@@ -1,0 +1,324 @@
+"""The leveled LSM store.
+
+Wires MemTable, SSTables, compaction, and caches into a key-value store
+with the interface the IndeXY framework expects of an Index Y.  Level 0
+collects freshly flushed (mutually overlapping) tables; levels 1+ hold
+non-overlapping sorted runs with exponentially growing byte budgets.
+Compaction runs inline when a level exceeds its budget, charging
+background CPU and real simulated disk I/O — so compaction competes with
+foreground requests for the disk exactly as the paper observes (the
+ART-LSM throughput fluctuation in Figure 9).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.lsm.cache import LRUCache
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import SSTable
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.stats import StatCounters
+
+#: Deletion marker. Chosen to be an impossible user value (values are
+#: opaque bytes; the store owns this sentinel and strips it on reads).
+TOMBSTONE = b"\x00__tombstone__\x00"
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Store tuning knobs (defaults scaled to the simulation sizes).
+
+    ``memtable_bytes`` is the write buffer the framework reuses as its
+    transfer buffer; ``block_cache_bytes`` / ``row_cache_bytes`` are the
+    deliberately small read caches of Section II-D.
+    """
+
+    memtable_bytes: int = 256 * 1024
+    block_size: int = 4096
+    block_cache_bytes: int = 256 * 1024
+    row_cache_bytes: int = 0
+    bits_per_key: int = 10
+    level0_table_limit: int = 4
+    level1_bytes: int = 1 * 1024 * 1024
+    level_size_multiplier: int = 10
+    max_levels: int = 7
+
+
+class LSMStore:
+    """A leveled LSM key-value store over a simulated disk."""
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        config: LSMConfig | None = None,
+        clock: SimClock | None = None,
+        costs: CostModel | None = None,
+    ) -> None:
+        self.disk = disk
+        self.config = config or LSMConfig()
+        self.clock = clock
+        self.costs = costs or CostModel()
+        self.stats = StatCounters()
+        self._table_ids = itertools.count(1)
+        self._memtable = self._new_memtable()
+        #: levels[0] is newest-first and may overlap; levels[n>=1] are
+        #: sorted by min_key and disjoint.
+        self.levels: list[list[SSTable]] = [[] for __ in range(self.config.max_levels)]
+        self.block_cache = LRUCache(self.config.block_cache_bytes)
+        self.row_cache = (
+            LRUCache(self.config.row_cache_bytes) if self.config.row_cache_bytes else None
+        )
+
+    def _new_memtable(self) -> MemTable:
+        return MemTable(self.clock, self.costs, seed=0x5EED)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self._memtable.put(key, value)
+        if self.row_cache is not None:
+            self.row_cache.invalidate(key)
+        if self._memtable.size_bytes >= self.config.memtable_bytes:
+            self.flush()
+
+    def put_batch(self, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Batched writes from the framework's pre-cleaner (sorted ranges)."""
+        for key, value in pairs:
+            self.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.put(key, TOMBSTONE)
+
+    def flush(self) -> None:
+        """Freeze the MemTable into a level-0 SSTable."""
+        if not len(self._memtable):
+            return
+        pairs = list(self._memtable.items())
+        table = SSTable.build(
+            next(self._table_ids),
+            self.disk,
+            pairs,
+            block_size=self.config.block_size,
+            bits_per_key=self.config.bits_per_key,
+            clock=self.clock,
+            costs=self.costs,
+            background=True,
+        )
+        self.levels[0].insert(0, table)
+        self._memtable = self._new_memtable()
+        self.stats.bump("flushes")
+        self.stats.bump("flush_bytes", table.data_bytes)
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _level_target_bytes(self, level: int) -> int:
+        return self.config.level1_bytes * self.config.level_size_multiplier ** (level - 1)
+
+    def _level_bytes(self, level: int) -> int:
+        return sum(t.data_bytes for t in self.levels[level])
+
+    def _maybe_compact(self) -> None:
+        # L0 compacts by table count (tables overlap, reads touch them all).
+        while len(self.levels[0]) > self.config.level0_table_limit:
+            self._compact_level(0)
+        for level in range(1, self.config.max_levels - 1):
+            while self._level_bytes(level) > self._level_target_bytes(level):
+                self._compact_level(level)
+
+    def _compact_level(self, level: int) -> None:
+        """Merge ``level`` (or its oldest table) into ``level + 1``."""
+        if level == 0:
+            upper = list(self.levels[0])
+        else:
+            # Pick the oldest (first) table beyond budget.
+            upper = [self.levels[level][0]]
+        low = min(t.min_key for t in upper)
+        high = max(t.max_key for t in upper)
+        lower = [t for t in self.levels[level + 1] if t.overlaps_range(low, high)]
+
+        merged = self._merge_tables(upper, lower, drop_tombstones=self._is_bottom(level + 1))
+        for table in upper:
+            self.levels[level].remove(table)
+            table.free()
+        for table in lower:
+            self.levels[level + 1].remove(table)
+            table.free()
+        self.stats.bump("compactions")
+
+        if merged:
+            out_budget = max(self.config.level1_bytes, self.config.memtable_bytes * 4)
+            for chunk in self._chunk_pairs(merged, out_budget):
+                table = SSTable.build(
+                    next(self._table_ids),
+                    self.disk,
+                    chunk,
+                    block_size=self.config.block_size,
+                    bits_per_key=self.config.bits_per_key,
+                    clock=self.clock,
+                    costs=self.costs,
+                    background=True,
+                )
+                self.levels[level + 1].append(table)
+                self.stats.bump("compaction_bytes_written", table.data_bytes)
+            self.levels[level + 1].sort(key=lambda t: t.min_key)
+
+    def _is_bottom(self, level: int) -> bool:
+        return all(not self.levels[l] for l in range(level + 1, self.config.max_levels))
+
+    def _merge_tables(
+        self, newer: list[SSTable], older: list[SSTable], drop_tombstones: bool
+    ) -> list[tuple[bytes, bytes]]:
+        """Newest-wins merge of complete tables (no caches: one-shot reads)."""
+        merged: dict[bytes, bytes] = {}
+        # Oldest first so newer entries overwrite.
+        for table in list(reversed(older)) + list(reversed(newer)):
+            for key, value in table.iter_all():
+                merged[key] = value
+        if self.clock is not None:
+            self.clock.charge_background(
+                self.costs.compare_cost(len(merged)) + self.costs.copy_cost(len(merged) * 16)
+            )
+        items = sorted(merged.items())
+        if drop_tombstones:
+            items = [(k, v) for k, v in items if v != TOMBSTONE]
+        return items
+
+    @staticmethod
+    def _chunk_pairs(
+        pairs: list[tuple[bytes, bytes]], budget_bytes: int
+    ) -> Iterator[list[tuple[bytes, bytes]]]:
+        chunk: list[tuple[bytes, bytes]] = []
+        size = 0
+        for key, value in pairs:
+            chunk.append((key, value))
+            size += len(key) + len(value) + 6
+            if size >= budget_bytes:
+                yield chunk
+                chunk, size = [], 0
+        if chunk:
+            yield chunk
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self._memtable.get(key)
+        if value is not None:
+            self.stats.bump("memtable_hits")
+            return None if value == TOMBSTONE else value
+        if self.row_cache is not None:
+            if self.clock is not None:
+                self.clock.charge_cpu(self.costs.hash_probe)
+            cached = self.row_cache.get(key)
+            if cached is not None:
+                self.stats.bump("row_cache_hits")
+                return None if cached == TOMBSTONE else cached
+        for table in self.levels[0]:
+            value = table.get(key, self.block_cache, self.clock, self.costs)
+            if value is not None:
+                self._fill_row_cache(key, value)
+                return None if value == TOMBSTONE else value
+        for level in range(1, self.config.max_levels):
+            table = self._find_table(level, key)
+            if table is None:
+                continue
+            value = table.get(key, self.block_cache, self.clock, self.costs)
+            if value is not None:
+                self._fill_row_cache(key, value)
+                return None if value == TOMBSTONE else value
+        return None
+
+    def _fill_row_cache(self, key: bytes, value: bytes) -> None:
+        if self.row_cache is not None:
+            self.row_cache.put(key, value, len(key) + len(value) + 16)
+
+    def _find_table(self, level: int, key: bytes) -> Optional[SSTable]:
+        import bisect
+
+        tables = self.levels[level]
+        if not tables:
+            return None
+        i = bisect.bisect_right([t.min_key for t in tables], key) - 1
+        if i < 0:
+            return None
+        table = tables[i]
+        return table if key <= table.max_key else None
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Merged range scan across MemTable and every level.
+
+        The multi-source merge is the structural reason LSM scans trail
+        B+-tree scans (Benchmark E in Figure 8): every source contributes
+        I/O and the merge must dedup across levels.
+        """
+        sources: list[Iterator[tuple[bytes, bytes]]] = []
+        # Priority: lower sequence = newer. MemTable is newest.
+        sources.append(iter(self._memtable.items(start)))
+        for table in self.levels[0]:
+            sources.append(table.iter_from(start, self.block_cache))
+        for level in range(1, self.config.max_levels):
+            for table in self.levels[level]:
+                if table.max_key >= start:
+                    sources.append(table.iter_from(start, self.block_cache))
+
+        merged = heapq.merge(
+            *(
+                ((key, seq, value) for key, value in src)
+                for seq, src in enumerate(sources)
+            )
+        )
+        out: list[tuple[bytes, bytes]] = []
+        last_key: Optional[bytes] = None
+        for key, __, value in merged:
+            if key == last_key:
+                continue
+            last_key = key
+            if value == TOMBSTONE:
+                continue
+            out.append((key, value))
+            if len(out) >= count:
+                break
+        if self.clock is not None:
+            self.clock.charge_cpu(
+                self.costs.compare_cost(len(out) * max(1, len(sources)))
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """In-memory footprint: MemTable, caches, indexes, blooms."""
+        total = self._memtable.size_bytes
+        total += self.block_cache.used_bytes
+        if self.row_cache is not None:
+            total += self.row_cache.used_bytes
+        for level in self.levels:
+            for table in level:
+                total += table.index_memory_bytes()
+        return total
+
+    @property
+    def disk_bytes(self) -> int:
+        return sum(t.data_bytes for level in self.levels for t in level)
+
+    @property
+    def table_count(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "/".join(str(len(level)) for level in self.levels)
+        return f"LSMStore(tables={shape}, memtable={self._memtable.size_bytes}B)"

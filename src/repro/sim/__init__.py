@@ -1,0 +1,37 @@
+"""Simulation substrate: simulated time, CPU cost model, and block device.
+
+The paper's evaluation is a hardware performance study (Xeon + SATA SSD,
+hundreds of millions of keys).  Pure Python cannot run that study at native
+speed, so every performance-sensitive component in this reproduction charges
+*simulated* time instead of measuring wall-clock time:
+
+* structural CPU work (nodes visited, keys compared, bytes copied) is charged
+  against a :class:`~repro.sim.clock.SimClock` using unit costs from a
+  :class:`~repro.sim.costs.CostModel`;
+* block I/O goes through a :class:`~repro.sim.disk.SimDisk`, which charges a
+  latency that depends on the access pattern (sequential vs. random) and
+  size, and keeps full I/O accounting;
+* multi-thread behaviour is reduced to an analytic
+  :class:`~repro.sim.threads.ThreadModel`: CPU work divides across lanes,
+  disk requests serialize on one device.
+
+Benchmarks report operations per simulated second.  Absolute values are not
+comparable with the paper's testbed, but relative shapes (who wins, by what
+factor, where crossovers fall) are preserved because they are driven by I/O
+pattern, I/O volume, and structural op counts — exactly what is charged here.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import DiskSpec, SimDisk
+from repro.sim.stats import StatCounters
+from repro.sim.threads import ThreadModel
+
+__all__ = [
+    "CostModel",
+    "DiskSpec",
+    "SimClock",
+    "SimDisk",
+    "StatCounters",
+    "ThreadModel",
+]

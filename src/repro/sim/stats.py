@@ -1,0 +1,59 @@
+"""Named counters with snapshot/delta support.
+
+Used for I/O accounting, framework event counts (pre-cleanings, releases,
+misses), and anything a benchmark wants to report per time slice.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+
+
+class StatCounters:
+    """A bag of named numeric counters.
+
+    Unknown names read as zero, so callers never have to pre-register the
+    counters they bump.  ``snapshot``/``delta`` support the chunked sampling
+    the figure benchmarks use (throughput per slice of a long run).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def bump(self, name: str, amount: float = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._counts)
+
+    def delta(self, earlier: dict[str, float]) -> dict[str, float]:
+        """Counters accumulated since ``earlier`` (a prior ``snapshot()``)."""
+        out = {}
+        for name, value in self._counts.items():
+            diff = value - earlier.get(name, 0)
+            if diff:
+                out[name] = diff
+        return out
+
+    def merge(self, other: "StatCounters") -> None:
+        self._counts.update(other._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"StatCounters({inner})"

@@ -1,0 +1,86 @@
+"""Analytic multi-thread model.
+
+The paper pins 2–16 worker threads to one NUMA node and shows two regimes:
+while the workload fits in memory, throughput scales with thread count;
+once it spills to disk, throughput flattens because the single SSD
+serializes requests (Figures 9 and 11).  This module reduces that behaviour
+to a closed-form combination of the CPU and disk time a run accumulated:
+
+* foreground CPU work divides across ``threads`` lanes, discounted by a
+  scalability factor for lock/cache contention;
+* background CPU work (pre-cleaning, compaction) overlaps with foreground
+  lanes but steals a configurable share of them;
+* disk busy time does not divide — one device — except for a small queueing
+  benefit on the positioning portion of random requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThreadModel:
+    """Parameters for combining CPU and disk time into elapsed time.
+
+    Attributes:
+        cpu_scalability: fraction of linear speedup retained per doubling of
+            threads (1.0 ⇒ perfectly linear; 0.9 matches the paper's ~8x
+            peak gain from 2→16 threads).
+        background_share: fraction of background CPU work that steals
+            foreground lanes instead of overlapping fully.
+        disk_queue_depth: maximum useful request overlap on the device.
+        disk_overlap_gain: seek-time reduction per doubling of in-flight
+            requests, applied up to ``disk_queue_depth``.
+    """
+
+    cpu_scalability: float = 0.9
+    background_share: float = 0.35
+    disk_queue_depth: int = 4
+    disk_overlap_gain: float = 0.12
+
+    def cpu_speedup(self, threads: int) -> float:
+        """Effective parallel speedup for ``threads`` foreground lanes."""
+        if threads <= 1:
+            return 1.0
+        doublings = 0
+        speedup = 1.0
+        remaining = threads
+        while remaining > 1:
+            speedup *= 2 * self.cpu_scalability
+            remaining /= 2
+            doublings += 1
+        # Fractional remainder of the last doubling.
+        if remaining != 1:
+            speedup *= remaining ** (1 if self.cpu_scalability >= 1 else self.cpu_scalability)
+        return speedup
+
+    def disk_speedup(self, threads: int) -> float:
+        """Effective overlap factor for disk requests."""
+        depth = min(threads, self.disk_queue_depth)
+        if depth <= 1:
+            return 1.0
+        gain = 1.0
+        while depth > 1:
+            gain *= 1 + self.disk_overlap_gain
+            depth /= 2
+        return gain
+
+    def elapsed_ns(
+        self,
+        cpu_ns: float,
+        background_ns: float,
+        disk_ns: float,
+        threads: int = 1,
+    ) -> float:
+        """Simulated elapsed time of a run.
+
+        Foreground CPU and the stolen share of background CPU divide across
+        lanes; the disk serializes (with a modest queueing benefit); the two
+        resources overlap, so elapsed time is their maximum.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        cpu_time = (cpu_ns + self.background_share * background_ns) / self.cpu_speedup(threads)
+        disk_time = disk_ns / self.disk_speedup(threads)
+        return max(cpu_time, disk_time)

@@ -1,0 +1,35 @@
+"""The evaluated key-value systems (paper Table I).
+
+=========  ==============  ======================
+system     Index X         Index Y
+=========  ==============  ======================
+ART-LSM    ART             LSM tree (RocksDB-like)
+ART-B+     ART             on-disk B+ tree
+B+-B+      coupled page-based B+ tree (LeanStore analogue)
+RocksDB    MemTable        LSM tree
+=========  ==============  ======================
+
+Every system implements :class:`repro.systems.base.KVSystem`: integer-keyed
+insert/read/update/scan/read-modify-write plus simulated-time accounting,
+so workloads and benchmarks treat them uniformly.
+"""
+
+from repro.systems.base import KVSystem, Snapshot
+from repro.systems.art_lsm import ArtLsmSystem
+from repro.systems.art_multi import ArtMultiYSystem
+from repro.systems.art_bplus import ArtBPlusSystem
+from repro.systems.bplus_bplus import BPlusBPlusSystem
+from repro.systems.rocksdb_like import RocksDbLikeSystem
+from repro.systems.factory import SYSTEM_NAMES, build_system
+
+__all__ = [
+    "SYSTEM_NAMES",
+    "ArtBPlusSystem",
+    "ArtLsmSystem",
+    "ArtMultiYSystem",
+    "BPlusBPlusSystem",
+    "KVSystem",
+    "RocksDbLikeSystem",
+    "Snapshot",
+    "build_system",
+]

@@ -1,0 +1,92 @@
+"""ART-Multi: ART as Index X over two routed Index Ys (LSM + B+ tree).
+
+A prototype of the paper's Section III-G future extension: the workload's
+write-heavy key regions land in the LSM backend, scan-heavy regions in the
+B+ tree backend, so a mixed random-write + scan workload no longer forces
+a single suboptimal Index Y choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.core.adapters import ARTIndexX
+from repro.core.config import IndeXYConfig
+from repro.core.indexy import IndeXY
+from repro.core.multi_y import KeyRegionRouter, RoutedIndexY
+from repro.diskbtree.tree import DiskBPlusTree
+from repro.lsm.store import LSMConfig, LSMStore
+from repro.sim.costs import CostModel
+from repro.sim.threads import ThreadModel
+from repro.systems.art_bplus import _DiskBTreeAsY
+from repro.systems.base import KVSystem
+
+
+class ArtMultiYSystem(KVSystem):
+    name = "ART-Multi"
+
+    def __init__(
+        self,
+        memory_limit_bytes: int,
+        page_size: int = 4096,
+        region_prefix_bytes: int = 5,
+        scan_threshold: float = 0.3,
+        costs: CostModel | None = None,
+        thread_model: ThreadModel | None = None,
+        **indexy_kwargs,
+    ) -> None:
+        super().__init__(costs, thread_model)
+        lsm = LSMStore(
+            self.disk,
+            LSMConfig(
+                memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
+                block_cache_bytes=max(64 * 1024, memory_limit_bytes // 16),
+            ),
+            clock=self.clock,
+            costs=self.costs,
+        )
+        # The scan-friendly backend is provisioned for scans: its pool must
+        # cover a hot scan range, or every range read thrashes page frames.
+        btree = DiskBPlusTree(
+            self.disk,
+            pool_bytes=max(48 * page_size, memory_limit_bytes // 8),
+            page_size=page_size,
+            clock=self.clock,
+            costs=self.costs,
+        )
+        router = KeyRegionRouter(
+            default="lsm",
+            scan_backend="btree",
+            region_prefix_bytes=region_prefix_bytes,
+            scan_threshold=scan_threshold,
+        )
+        self.routed = RoutedIndexY({"lsm": lsm, "btree": _DiskBTreeAsY(btree)}, router)
+        x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
+        config = IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
+        self.index = IndeXY(x, self.routed, config, clock=self.clock, **indexy_kwargs)
+
+    def insert(self, key: int, value: bytes) -> None:
+        self._op()
+        self.index.insert(self.encode_key(key), value)
+
+    def read(self, key: int) -> Optional[bytes]:
+        self._op()
+        return self.index.get(self.encode_key(key))
+
+    def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
+        self._op()
+        return self.index.scan(self.encode_key(key), count)
+
+    def flush(self) -> None:
+        self.index.flush()
+        for backend in self.routed.backends.values():
+            flush = getattr(backend, "flush", None)
+            if flush is not None:
+                flush()
+            else:
+                backend.tree.flush_all()
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.index.memory_bytes

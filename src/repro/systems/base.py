@@ -1,0 +1,123 @@
+"""Common system interface and simulated-time accounting.
+
+A ``KVSystem`` owns one simulated clock, one simulated disk, and a thread
+model.  Workloads drive it through integer-keyed operations; benchmarks
+sample :meth:`KVSystem.snapshot` deltas and convert them to throughput in
+operations per simulated second via :meth:`Snapshot.throughput_ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.art.keys import encode_int
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.stats import StatCounters
+from repro.sim.threads import ThreadModel
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Accumulated simulated work at a sampling point."""
+
+    cpu_ns: float
+    background_ns: float
+    disk_busy_ns: float
+    ops: float
+    disk_read_bytes: float
+    disk_write_bytes: float
+
+    def delta(self, later: "Snapshot") -> "Snapshot":
+        return Snapshot(
+            cpu_ns=later.cpu_ns - self.cpu_ns,
+            background_ns=later.background_ns - self.background_ns,
+            disk_busy_ns=later.disk_busy_ns - self.disk_busy_ns,
+            ops=later.ops - self.ops,
+            disk_read_bytes=later.disk_read_bytes - self.disk_read_bytes,
+            disk_write_bytes=later.disk_write_bytes - self.disk_write_bytes,
+        )
+
+    def elapsed_ns(self, threads: int, model: ThreadModel) -> float:
+        return model.elapsed_ns(self.cpu_ns, self.background_ns, self.disk_busy_ns, threads)
+
+    def throughput_ops(self, threads: int, model: ThreadModel) -> float:
+        """Operations per simulated second."""
+        elapsed = self.elapsed_ns(threads, model)
+        if elapsed <= 0:
+            return 0.0
+        return self.ops / (elapsed / 1e9)
+
+    def disk_mb_per_s(self, threads: int, model: ThreadModel) -> float:
+        elapsed = self.elapsed_ns(threads, model)
+        if elapsed <= 0:
+            return 0.0
+        total = self.disk_read_bytes + self.disk_write_bytes
+        return total / (1 << 20) / (elapsed / 1e9)
+
+
+class KVSystem:
+    """Base class: shared clock/disk plumbing and the operation contract."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        thread_model: ThreadModel | None = None,
+    ) -> None:
+        self.clock = SimClock()
+        self.disk = SimDisk()
+        self.costs = costs or CostModel()
+        self.thread_model = thread_model or ThreadModel()
+        self.stats = StatCounters()
+
+    # -- operations ------------------------------------------------------
+    def insert(self, key: int, value: bytes) -> None:
+        raise NotImplementedError
+
+    def read(self, key: int) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def update(self, key: int, value: bytes) -> None:
+        """Distinct from insert only in intent; systems may share the path."""
+        self.insert(key, value)
+
+    def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
+        raise NotImplementedError
+
+    def read_modify_write(self, key: int, value: bytes) -> None:
+        self.read(key)
+        self.update(key, value)
+
+    def flush(self) -> None:
+        """Persist everything (end-of-run checkpoint)."""
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+    def _op(self) -> None:
+        """Per-operation fixed overhead + op count."""
+        self.clock.charge_cpu(self.costs.op_overhead)
+        self.stats.bump("ops")
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(
+            cpu_ns=self.clock.cpu_ns,
+            background_ns=self.clock.background_ns,
+            disk_busy_ns=self.disk.busy_ns,
+            ops=self.stats["ops"],
+            disk_read_bytes=self.disk.stats["bytes_read"],
+            disk_write_bytes=self.disk.stats["bytes_written"],
+        )
+
+    @staticmethod
+    def encode_key(key: int) -> bytes:
+        return encode_int(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(ops={self.stats['ops']:.0f})"

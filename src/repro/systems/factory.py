@@ -1,0 +1,65 @@
+"""System factory: build any Table-I system by name."""
+
+from __future__ import annotations
+
+from repro.sim.costs import CostModel
+from repro.sim.threads import ThreadModel
+from repro.systems.art_bplus import ArtBPlusSystem
+from repro.systems.art_lsm import ArtLsmSystem
+from repro.systems.art_multi import ArtMultiYSystem
+from repro.systems.base import KVSystem
+from repro.systems.bplus_bplus import BPlusBPlusSystem
+from repro.systems.rocksdb_like import RocksDbLikeSystem
+
+#: the four Table-I systems; "ART-Multi" (the Section III-G multi-Y
+#: extension) is additionally accepted by :func:`build_system`.
+SYSTEM_NAMES = ("ART-LSM", "ART-B+", "B+-B+", "RocksDB")
+
+
+def build_system(
+    name: str,
+    memory_limit_bytes: int,
+    page_size: int = 4096,
+    costs: CostModel | None = None,
+    thread_model: ThreadModel | None = None,
+    **kwargs,
+) -> KVSystem:
+    """Construct a configured system.
+
+    ``memory_limit_bytes`` is the total memory budget of the run (the
+    paper's 5 GB / 30 GB limits, scaled).  ``page_size`` applies to the
+    page-based structures only (Table II / Figure 10 sweeps).
+    """
+    if name == "ART-LSM":
+        return ArtLsmSystem(
+            memory_limit_bytes, costs=costs, thread_model=thread_model, **kwargs
+        )
+    if name == "ART-B+":
+        return ArtBPlusSystem(
+            memory_limit_bytes,
+            page_size=page_size,
+            costs=costs,
+            thread_model=thread_model,
+            **kwargs,
+        )
+    if name == "B+-B+":
+        return BPlusBPlusSystem(
+            memory_limit_bytes,
+            page_size=page_size,
+            costs=costs,
+            thread_model=thread_model,
+            **kwargs,
+        )
+    if name == "RocksDB":
+        return RocksDbLikeSystem(
+            memory_limit_bytes, costs=costs, thread_model=thread_model, **kwargs
+        )
+    if name == "ART-Multi":
+        return ArtMultiYSystem(
+            memory_limit_bytes,
+            page_size=page_size,
+            costs=costs,
+            thread_model=thread_model,
+            **kwargs,
+        )
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")

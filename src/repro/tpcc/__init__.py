@@ -1,0 +1,31 @@
+"""TPC-C substrate (Section III-F).
+
+A scaled-down TPC-C engine with the two transaction types the paper runs
+(New-Order and Payment, 50/50).  All nine tables are indexed; only the
+``orderline`` index — by far the largest and the only one that grows
+without bound — is made swappable through the IndeXY framework (or the
+baseline backends), exactly as in the paper's setup.
+"""
+
+from repro.tpcc.engine import TpccConfig, TpccEngine
+from repro.tpcc.keys import (
+    customer_key,
+    district_key,
+    item_key,
+    order_key,
+    orderline_key,
+    stock_key,
+    warehouse_key,
+)
+
+__all__ = [
+    "TpccConfig",
+    "TpccEngine",
+    "customer_key",
+    "district_key",
+    "item_key",
+    "order_key",
+    "orderline_key",
+    "stock_key",
+    "warehouse_key",
+]

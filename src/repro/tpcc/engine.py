@@ -1,0 +1,246 @@
+"""The TPC-C engine.
+
+Owns the nine table indexes, the shared simulated clock/disk, and the
+swappable orderline backend.  The eight small tables live in resident ART
+indexes (they fit in memory; the paper keeps them there too).  The
+orderline index — over 10x larger than any other — runs on one of the four
+compared backends and is the component the memory limit squeezes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.core.adapters import ARTIndexX
+from repro.core.config import IndeXYConfig
+from repro.core.indexy import IndeXY
+from repro.diskbtree.tree import DiskBPlusTree
+from repro.lsm.store import LSMConfig, LSMStore
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.stats import StatCounters
+from repro.sim.threads import ThreadModel
+from repro.systems.art_bplus import _DiskBTreeAsY
+from repro.systems.base import Snapshot
+from repro.tpcc import keys
+from repro.tpcc.transactions import new_order, payment
+
+ORDERLINE_BACKENDS = ("ART-LSM", "ART-B+", "B+-B+", "RocksDB")
+
+
+@dataclass(frozen=True)
+class TpccConfig:
+    """Scaled-down TPC-C parameters.
+
+    The paper runs 100 warehouses (~10 GB) under a 30 GB limit; the
+    defaults here keep the same *ratios* at simulation scale.  New-Order
+    and Payment are mixed 50/50 as in the paper.
+    """
+
+    warehouses: int = 4
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 100
+    items: int = 1000
+    memory_limit_bytes: int = 1 << 20
+    page_size: int = 4096
+    orderline_backend: str = "ART-LSM"
+    orderline_value_bytes: int = 64
+    new_order_fraction: float = 0.5
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.orderline_backend not in ORDERLINE_BACKENDS:
+            raise ValueError(
+                f"unknown orderline backend {self.orderline_backend!r}; "
+                f"choose from {ORDERLINE_BACKENDS}"
+            )
+        if self.warehouses < 1:
+            raise ValueError("need at least one warehouse")
+
+
+class TpccEngine:
+    """Runs the New-Order + Payment mix against a chosen orderline backend."""
+
+    def __init__(
+        self,
+        config: TpccConfig,
+        costs: CostModel | None = None,
+        thread_model: ThreadModel | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = SimClock()
+        self.disk = SimDisk()
+        self.costs = costs or CostModel()
+        self.thread_model = thread_model or ThreadModel()
+        self.stats = StatCounters()
+        self.rng = random.Random(config.seed)
+
+        # The eight resident tables (each an in-memory index, as in the
+        # paper: "transactions from Payment ... only access indexes that
+        # have been kept in the memory").
+        self.warehouse = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.district = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.customer = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.item = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.stock = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.order = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.new_order_tbl = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self.history = AdaptiveRadixTree(clock=self.clock, costs=self.costs)
+        self._history_seq = 0
+
+        self._load()
+        self.orderline = self._build_orderline_backend()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Populate the initial database (items, stock, customers, ...)."""
+        cfg = self.config
+        for i in range(cfg.items):
+            self.item.insert(keys.item_key(i), (100 + i % 900).to_bytes(4, "big"), dirty=False)
+        for w in range(cfg.warehouses):
+            self.warehouse.insert(keys.warehouse_key(w), (0).to_bytes(8, "big"), dirty=False)
+            for i in range(cfg.items):
+                value = (50).to_bytes(4, "big") + (0).to_bytes(8, "big")
+                self.stock.insert(keys.stock_key(w, i), value, dirty=False)
+            for d in range(cfg.districts_per_warehouse):
+                value = (0).to_bytes(8, "big") + (1).to_bytes(6, "big")
+                self.district.insert(keys.district_key(w, d), value, dirty=False)
+                for c in range(cfg.customers_per_district):
+                    value = (0).to_bytes(8, "big") + (0).to_bytes(4, "big")
+                    self.customer.insert(keys.customer_key(w, d, c), value, dirty=False)
+
+    def _resident_tables_bytes(self) -> int:
+        return (
+            self.warehouse.memory_bytes
+            + self.district.memory_bytes
+            + self.customer.memory_bytes
+            + self.item.memory_bytes
+            + self.stock.memory_bytes
+            + self.order.memory_bytes
+            + self.new_order_tbl.memory_bytes
+            + self.history.memory_bytes
+        )
+
+    def _orderline_budget(self) -> int:
+        """What remains of the workload limit for the orderline index."""
+        remaining = self.config.memory_limit_bytes - self._resident_tables_bytes()
+        return max(64 * 1024, remaining)
+
+    def _build_orderline_backend(self):
+        cfg = self.config
+        budget = self._orderline_budget()
+        kind = cfg.orderline_backend
+        if kind in ("ART-LSM", "ART-B+"):
+            x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
+            if kind == "ART-LSM":
+                y = LSMStore(
+                    self.disk,
+                    LSMConfig(
+                        memtable_bytes=max(32 * 1024, budget // 20),
+                        block_cache_bytes=max(16 * 1024, budget // 20),
+                    ),
+                    clock=self.clock,
+                    costs=self.costs,
+                )
+            else:
+                tree = DiskBPlusTree(
+                    self.disk,
+                    pool_bytes=max(16 * cfg.page_size, budget // 10),
+                    page_size=cfg.page_size,
+                    clock=self.clock,
+                    costs=self.costs,
+                )
+                y = _DiskBTreeAsY(tree)
+            return IndeXY(x, y, IndeXYConfig(memory_limit_bytes=budget), clock=self.clock)
+        if kind == "B+-B+":
+            return DiskBPlusTree(
+                self.disk,
+                pool_bytes=budget,
+                page_size=cfg.page_size,
+                clock=self.clock,
+                costs=self.costs,
+            )
+        return LSMStore(
+            self.disk,
+            LSMConfig(
+                memtable_bytes=max(32 * 1024, budget // 20),
+                block_cache_bytes=max(16 * 1024, budget // 20),
+                row_cache_bytes=max(8 * 1024, budget // 50),
+            ),
+            clock=self.clock,
+            costs=self.costs,
+        )
+
+    # ------------------------------------------------------------------
+    # orderline access used by the transactions
+    # ------------------------------------------------------------------
+    def orderline_insert(self, key: bytes, value: bytes) -> None:
+        backend = self.orderline
+        if isinstance(backend, IndeXY):
+            backend.insert(key, value)
+        else:
+            backend.put(key, value)
+        self.stats.bump("orderline_inserts")
+
+    def orderline_read(self, key: bytes):
+        backend = self.orderline
+        if isinstance(backend, IndeXY):
+            return backend.get(key)
+        return backend.get(key)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_transaction(self) -> str:
+        """Execute one transaction of the configured mix; returns its type."""
+        if self.rng.random() < self.config.new_order_fraction:
+            new_order(self, self.rng)
+            self.stats.bump("new_order_txns")
+            kind = "new_order"
+        else:
+            payment(self, self.rng)
+            self.stats.bump("payment_txns")
+            kind = "payment"
+        self.stats.bump("txns")
+        if isinstance(self.orderline, IndeXY) and self.stats["txns"] % 256 == 0:
+            # Re-fit the orderline budget as the resident tables grow
+            # (the workload-wide 30 GB limit of Section III-F).
+            self.orderline.set_memory_limit(self._orderline_budget())
+        return kind
+
+    def run(self, transactions: int) -> None:
+        for __ in range(transactions):
+            self.run_transaction()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        backend = self.orderline
+        if isinstance(backend, IndeXY):
+            ol = backend.memory_bytes
+        else:
+            ol = backend.memory_bytes
+        return self._resident_tables_bytes() + ol
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(
+            cpu_ns=self.clock.cpu_ns,
+            background_ns=self.clock.background_ns,
+            disk_busy_ns=self.disk.busy_ns,
+            ops=self.stats["txns"],
+            disk_read_bytes=self.disk.stats["bytes_read"],
+            disk_write_bytes=self.disk.stats["bytes_written"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TpccEngine(backend={self.config.orderline_backend}, "
+            f"txns={self.stats['txns']:.0f})"
+        )

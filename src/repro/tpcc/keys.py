@@ -1,0 +1,47 @@
+"""Composite-key encodings for the TPC-C tables.
+
+Keys pack their components big-endian so byte order equals logical order —
+orderlines of one order are contiguous, orders of one district are
+contiguous, and so on.  That layout is what makes New-Order's orderline
+inserts "locally sequential, globally random" (Section III-F): the 5–15
+lines of one order land adjacently at a random (w, d, o) position.
+"""
+
+from __future__ import annotations
+
+
+def warehouse_key(w_id: int) -> bytes:
+    return w_id.to_bytes(4, "big")
+
+
+def district_key(w_id: int, d_id: int) -> bytes:
+    return w_id.to_bytes(4, "big") + d_id.to_bytes(2, "big")
+
+
+def customer_key(w_id: int, d_id: int, c_id: int) -> bytes:
+    return w_id.to_bytes(4, "big") + d_id.to_bytes(2, "big") + c_id.to_bytes(4, "big")
+
+
+def item_key(i_id: int) -> bytes:
+    return i_id.to_bytes(4, "big")
+
+
+def stock_key(w_id: int, i_id: int) -> bytes:
+    return w_id.to_bytes(4, "big") + i_id.to_bytes(4, "big")
+
+
+def order_key(w_id: int, d_id: int, o_id: int) -> bytes:
+    return w_id.to_bytes(4, "big") + d_id.to_bytes(2, "big") + o_id.to_bytes(6, "big")
+
+
+def orderline_key(w_id: int, d_id: int, o_id: int, line: int) -> bytes:
+    return (
+        w_id.to_bytes(4, "big")
+        + d_id.to_bytes(2, "big")
+        + o_id.to_bytes(6, "big")
+        + line.to_bytes(2, "big")
+    )
+
+
+def history_key(w_id: int, d_id: int, seq: int) -> bytes:
+    return w_id.to_bytes(4, "big") + d_id.to_bytes(2, "big") + seq.to_bytes(8, "big")

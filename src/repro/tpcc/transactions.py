@@ -1,0 +1,91 @@
+"""The two TPC-C transactions the paper evaluates (Section III-F).
+
+New-Order drives the orderline index: each transaction appends 5–15
+consecutive orderlines at a random (warehouse, district) position — the
+"locally sequential, globally random" insert pattern behind Figures 9–11.
+Payment is CPU-bound: it touches only resident indexes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.tpcc import keys
+from repro.tpcc.keys import history_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tpcc.engine import TpccEngine
+
+MIN_ORDER_LINES = 5
+MAX_ORDER_LINES = 15
+
+
+def _unpack(value: bytes, *widths: int) -> list[int]:
+    fields = []
+    pos = 0
+    for w in widths:
+        fields.append(int.from_bytes(value[pos : pos + w], "big"))
+        pos += w
+    return fields
+
+
+def new_order(engine: "TpccEngine", rng: random.Random) -> None:
+    """Insert one order with 5-15 orderlines; update stock quantities."""
+    cfg = engine.config
+    w = rng.randrange(cfg.warehouses)
+    d = rng.randrange(cfg.districts_per_warehouse)
+    c = rng.randrange(cfg.customers_per_district)
+
+    engine.customer.search(keys.customer_key(w, d, c))
+    engine.warehouse.search(keys.warehouse_key(w))
+
+    dkey = keys.district_key(w, d)
+    district = engine.district.search(dkey)
+    assert district is not None
+    ytd, next_o_id = _unpack(district, 8, 6)
+    engine.district.insert(dkey, ytd.to_bytes(8, "big") + (next_o_id + 1).to_bytes(6, "big"))
+
+    o_id = next_o_id
+    line_count = rng.randint(MIN_ORDER_LINES, MAX_ORDER_LINES)
+    for line in range(line_count):
+        i_id = rng.randrange(cfg.items)
+        engine.item.search(keys.item_key(i_id))
+        skey = keys.stock_key(w, i_id)
+        stock = engine.stock.search(skey)
+        assert stock is not None
+        quantity, s_ytd = _unpack(stock, 4, 8)
+        quantity = quantity - 1 if quantity > 10 else quantity + 91
+        engine.stock.insert(skey, quantity.to_bytes(4, "big") + (s_ytd + 1).to_bytes(8, "big"))
+        payload = bytes([i_id % 256]) * cfg.orderline_value_bytes
+        engine.orderline_insert(keys.orderline_key(w, d, o_id, line), payload)
+
+    order_value = c.to_bytes(4, "big") + line_count.to_bytes(2, "big")
+    engine.order.insert(keys.order_key(w, d, o_id), order_value)
+    engine.new_order_tbl.insert(keys.order_key(w, d, o_id), b"\x01")
+
+
+def payment(engine: "TpccEngine", rng: random.Random) -> None:
+    """Update warehouse/district YTD and customer balance; log history."""
+    cfg = engine.config
+    w = rng.randrange(cfg.warehouses)
+    d = rng.randrange(cfg.districts_per_warehouse)
+    c = rng.randrange(cfg.customers_per_district)
+    amount = rng.randint(1, 5000)
+
+    wkey = keys.warehouse_key(w)
+    ytd = int.from_bytes(engine.warehouse.search(wkey), "big")
+    engine.warehouse.insert(wkey, (ytd + amount).to_bytes(8, "big"))
+
+    dkey = keys.district_key(w, d)
+    d_ytd, next_o_id = _unpack(engine.district.search(dkey), 8, 6)
+    engine.district.insert(dkey, (d_ytd + amount).to_bytes(8, "big") + next_o_id.to_bytes(6, "big"))
+
+    ckey = keys.customer_key(w, d, c)
+    balance, payments = _unpack(engine.customer.search(ckey), 8, 4)
+    engine.customer.insert(
+        ckey, (balance + amount).to_bytes(8, "big") + (payments + 1).to_bytes(4, "big")
+    )
+
+    engine._history_seq += 1
+    engine.history.insert(history_key(w, d, engine._history_seq), amount.to_bytes(4, "big"))

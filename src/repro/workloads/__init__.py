@@ -1,0 +1,39 @@
+"""Workload generators for the evaluation.
+
+* :mod:`repro.workloads.distributions` — uniform, Zipfian (plain and
+  YCSB-scrambled), and latest-skewed key pickers;
+* :mod:`repro.workloads.micro` — the Section III micro-benchmarks
+  (random/sequential inserts, working-set reads, skewed reads, the
+  shifting-working-set workload of Figure 7);
+* :mod:`repro.workloads.ycsb` — the YCSB core workloads Load and A–F as
+  configured in the paper (Table III, Zipfian 0.7).
+"""
+
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.micro import (
+    random_insert_keys,
+    sequential_insert_keys,
+    shifting_read_keys,
+    working_set_read_keys,
+    zipfian_read_keys,
+)
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbSpec, generate_ycsb_ops, run_ops
+
+__all__ = [
+    "YCSB_WORKLOADS",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "YcsbSpec",
+    "ZipfianGenerator",
+    "generate_ycsb_ops",
+    "random_insert_keys",
+    "run_ops",
+    "sequential_insert_keys",
+    "shifting_read_keys",
+    "working_set_read_keys",
+    "zipfian_read_keys",
+]

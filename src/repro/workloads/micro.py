@@ -1,0 +1,79 @@
+"""Micro-benchmark workloads (Section III-B/C/D).
+
+All generators yield integer keys; the benchmark harness maps them onto
+system operations and samples simulated time per slice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.distributions import ScrambledZipfianGenerator, ZipfianGenerator
+
+
+def random_insert_keys(n: int, key_space: int | None = None, seed: int = 7) -> list[int]:
+    """``n`` distinct keys, uniformly spread, in random insertion order."""
+    rng = random.Random(seed)
+    return rng.sample(range(key_space or 4 * n), n)
+
+
+def sequential_insert_keys(n: int) -> list[int]:
+    """``n`` distinct keys inserted in ascending order."""
+    return list(range(n))
+
+
+def working_set_read_keys(
+    working_set_size: int,
+    total_reads: int,
+    key_space: int,
+    seed: int = 11,
+) -> Iterator[int]:
+    """Uniform repeated reads over a fixed working set (Figure 5).
+
+    The working set is drawn uniformly from the key space, matching the
+    paper's "keys uniformly distributed in a key space" setup.
+    """
+    rng = random.Random(seed)
+    working_set = rng.sample(range(key_space), working_set_size)
+    for __ in range(total_reads):
+        yield working_set[rng.randrange(working_set_size)]
+
+
+def zipfian_read_keys(
+    key_space: int, total_reads: int, theta: float, seed: int = 13
+) -> Iterator[int]:
+    """Zipfian-skewed reads over the whole key space (Figure 6)."""
+    zipf = ZipfianGenerator(key_space, theta, seed)
+    for __ in range(total_reads):
+        yield zipf.next()
+
+
+def shifting_read_keys(
+    key_space: int,
+    phases: int,
+    reads_per_phase: int,
+    theta: float = 0.7,
+    rotate_fraction: float = 0.25,
+    access_unit: int = 1,
+    seed: int = 17,
+) -> Iterator[tuple[int, int, int]]:
+    """The shifting-working-set workload (Figure 7).
+
+    Yields ``(phase, start_key, unit)`` triples: each request reads
+    ``access_unit`` consecutive keys starting at ``start_key``.  After each
+    phase the key space is rotated by ``rotate_fraction`` so the working
+    set moves.
+
+    Hot keys are scattered over the key space (YCSB-style scrambled
+    Zipfian), which is what makes page-granular caching waste memory on
+    this workload — the paper's central Figure 7 observation.
+    """
+    zipf = ScrambledZipfianGenerator(key_space, theta, seed)
+    rotate = int(key_space * rotate_fraction)
+    requests = max(1, reads_per_phase // access_unit)
+    for phase in range(phases):
+        offset = (phase * rotate) % key_space
+        for __ in range(requests):
+            key = (zipf.next() + offset) % key_space
+            yield phase, key, access_unit

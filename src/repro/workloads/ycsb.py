@@ -1,0 +1,148 @@
+"""YCSB core workloads (paper Table III).
+
+The paper's test bench generates Zipfian-distributed accesses with
+skewness 0.7 for every benchmark; the Load phase writes the whole key
+population in random order.  Operation mixes follow the standard YCSB
+definitions:
+
+=====  ==========================================================
+Load   100% insert (random order)
+A      50% read, 50% update
+B      95% read, 5% update
+C      100% read
+D      95% read-latest, 5% insert-at-frontier
+E      95% scan (length uniform 1..100, mean 50), 5% insert
+F      50% read-modify-write, 50% read
+=====  ==========================================================
+
+(The paper's Table III words D/E/F slightly differently — "update" for D/E
+and "read" for F's other half; we follow the canonical YCSB mixes, which
+is also what their test bench references.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.systems.base import KVSystem
+from repro.workloads.distributions import LatestGenerator, ScrambledZipfianGenerator
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """One YCSB workload's operation mix (fractions must sum to 1)."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    read_latest: float = 0.0
+    max_scan_length: int = 100
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw + self.read_latest
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix of {self.name} sums to {total}, expected 1.0")
+
+
+YCSB_WORKLOADS: dict[str, YcsbSpec] = {
+    "Load": YcsbSpec("Load", insert=1.0),
+    "A": YcsbSpec("A", read=0.5, update=0.5),
+    "B": YcsbSpec("B", read=0.95, update=0.05),
+    "C": YcsbSpec("C", read=1.0),
+    "D": YcsbSpec("D", read_latest=0.95, insert=0.05),
+    "E": YcsbSpec("E", scan=0.95, insert=0.05),
+    "F": YcsbSpec("F", read=0.5, rmw=0.5),
+}
+
+#: operation tuples are (op_name, key, extra) where extra is a value for
+#: writes or a scan length for scans.
+Op = tuple[str, int, int]
+
+
+def generate_ycsb_ops(
+    spec: YcsbSpec,
+    record_count: int,
+    operation_count: int,
+    theta: float = 0.7,
+    seed: int = 42,
+) -> Iterator[Op]:
+    """Yield the operation stream for one workload run."""
+    rng = random.Random(seed)
+    picker = ScrambledZipfianGenerator(record_count, theta, seed)
+    latest = LatestGenerator(record_count - 1, theta, seed)
+    insert_frontier = record_count
+
+    if spec.insert == 1.0:  # the Load phase: every key exactly once
+        keys = list(range(record_count))
+        rng.shuffle(keys)
+        for key in keys:
+            yield ("insert", key, 0)
+        return
+
+    choices = (
+        ("read", spec.read),
+        ("update", spec.update),
+        ("insert", spec.insert),
+        ("scan", spec.scan),
+        ("rmw", spec.rmw),
+        ("read_latest", spec.read_latest),
+    )
+    names = [c[0] for c in choices]
+    weights = [c[1] for c in choices]
+    for __ in range(operation_count):
+        op = rng.choices(names, weights)[0]
+        if op == "insert":
+            key = insert_frontier
+            insert_frontier += 1
+            latest.note_insert(key)
+            yield ("insert", key, 0)
+        elif op == "read_latest":
+            yield ("read", latest.next(), 0)
+        elif op == "scan":
+            length = rng.randint(1, spec.max_scan_length)
+            yield ("scan", picker.next(), length)
+        else:
+            yield (op, picker.next(), 0)
+
+
+def sparse_key(record_id: int) -> int:
+    """Map a dense YCSB record id to a sparse 40-bit key.
+
+    Real YCSB keys are hashed strings ("user" + digest), so they scatter
+    over the key space rather than packing densely — dense integer ids
+    would let a radix tree compress the key population unrealistically
+    well.  FNV keeps the mapping deterministic.
+    """
+    from repro.lsm.bloom import fnv1a
+
+    return fnv1a(record_id.to_bytes(8, "big")) >> 24
+
+
+def run_ops(
+    system: KVSystem,
+    ops: Iterator[Op],
+    value_size: int = 8,
+    sparse: bool = True,
+) -> int:
+    """Execute an operation stream against a system; returns ops executed."""
+    value = b"v" * value_size
+    key_of = sparse_key if sparse else lambda k: k
+    executed = 0
+    for op, key, extra in ops:
+        if op == "insert" or op == "update":
+            system.insert(key_of(key), value)
+        elif op == "read":
+            system.read(key_of(key))
+        elif op == "scan":
+            system.scan(key_of(key), extra)
+        elif op == "rmw":
+            system.read_modify_write(key_of(key), value)
+        else:  # pragma: no cover - generator never emits others
+            raise ValueError(f"unknown op {op!r}")
+        executed += 1
+    return executed

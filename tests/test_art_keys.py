@@ -1,0 +1,58 @@
+"""Unit tests for binary-comparable key encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.art.keys import (
+    common_prefix_length,
+    decode_int,
+    encode_int,
+    encode_str,
+)
+
+
+def test_encode_int_is_fixed_width():
+    assert len(encode_int(0)) == 8
+    assert len(encode_int(2**64 - 1)) == 8
+
+
+def test_encode_int_roundtrip():
+    for value in (0, 1, 255, 256, 2**32, 2**64 - 1):
+        assert decode_int(encode_int(value)) == value
+
+
+def test_encode_int_rejects_negative():
+    with pytest.raises(ValueError):
+        encode_int(-1)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=0, max_value=2**64 - 1))
+def test_encode_int_preserves_order(a, b):
+    assert (a < b) == (encode_int(a) < encode_int(b))
+
+
+def test_encode_str_is_prefix_free():
+    assert encode_str("ab") != encode_str("abc")[: len(encode_str("ab"))]
+
+
+_encodable = st.characters(blacklist_characters="\x00", blacklist_categories=("Cs",))
+
+
+@given(st.text(alphabet=_encodable, max_size=20), st.text(alphabet=_encodable, max_size=20))
+def test_encode_str_preserves_utf8_byte_order(a, b):
+    enc_a, enc_b = encode_str(a), encode_str(b)
+    raw_a, raw_b = a.encode("utf-8"), b.encode("utf-8")
+    assert (raw_a < raw_b) == (enc_a < enc_b)
+
+
+def test_encode_str_rejects_nul():
+    with pytest.raises(ValueError):
+        encode_str("bad\x00key")
+
+
+def test_common_prefix_length():
+    assert common_prefix_length(b"abcd", b"abxy") == 2
+    assert common_prefix_length(b"abc", b"abc") == 3
+    assert common_prefix_length(b"", b"abc") == 0
+    assert common_prefix_length(b"abc", b"abcd") == 3

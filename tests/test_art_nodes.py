@@ -1,0 +1,113 @@
+"""Unit tests for the four adaptive node layouts."""
+
+import pytest
+
+from repro.art.nodes import Leaf, Node4, Node16, Node48, Node256
+
+
+@pytest.mark.parametrize("node_cls", [Node4, Node16, Node48, Node256])
+def test_set_and_get_child(node_cls):
+    node = node_cls()
+    leaf = Leaf(b"k", b"v")
+    node.set_child(42, leaf)
+    assert node.child(42) is leaf
+    assert node.child(43) is None
+    assert node.num_children == 1
+
+
+@pytest.mark.parametrize("node_cls", [Node4, Node16, Node48, Node256])
+def test_children_iterate_in_byte_order(node_cls):
+    node = node_cls()
+    for byte in (200, 3, 77):
+        node.set_child(byte, Leaf(bytes([byte]), b"v"))
+    assert [b for b, __ in node.children_items()] == [3, 77, 200]
+
+
+@pytest.mark.parametrize("node_cls", [Node4, Node16, Node48, Node256])
+def test_replace_existing_child_does_not_grow_count(node_cls):
+    node = node_cls()
+    node.set_child(5, Leaf(b"a", b"1"))
+    node.set_child(5, Leaf(b"b", b"2"))
+    assert node.num_children == 1
+    assert node.child(5).key == b"b"
+
+
+@pytest.mark.parametrize("node_cls,capacity", [(Node4, 4), (Node16, 16), (Node48, 48)])
+def test_full_node_rejects_new_byte(node_cls, capacity):
+    node = node_cls()
+    for byte in range(capacity):
+        node.set_child(byte, Leaf(bytes([byte]), b"v"))
+    assert node.is_full()
+    with pytest.raises(RuntimeError):
+        node.set_child(capacity, Leaf(b"x", b"v"))
+
+
+@pytest.mark.parametrize(
+    "node_cls,expected_next",
+    [(Node4, Node16), (Node16, Node48), (Node48, Node256)],
+)
+def test_grown_preserves_children_and_meta(node_cls, expected_next):
+    node = node_cls()
+    node.dirty = True
+    node.leaf_count = 7
+    node.prefix = b"pre"
+    for byte in range(node.CAPACITY):
+        node.set_child(byte, Leaf(bytes([byte]), b"v"))
+    grown = node.grown()
+    assert isinstance(grown, expected_next)
+    assert grown.num_children == node.CAPACITY
+    assert grown.dirty and grown.leaf_count == 7 and grown.prefix == b"pre"
+    for byte in range(node.CAPACITY):
+        assert grown.child(byte) is node.child(byte)
+
+
+def test_node256_grown_is_itself():
+    node = Node256()
+    assert node.grown() is node
+
+
+@pytest.mark.parametrize(
+    "node_cls,expected_smaller",
+    [(Node16, Node4), (Node48, Node16), (Node256, Node48)],
+)
+def test_shrunk_preserves_children(node_cls, expected_smaller):
+    node = node_cls()
+    for byte in (1, 9):
+        node.set_child(byte, Leaf(bytes([byte]), b"v"))
+    smaller = node.shrunk()
+    assert isinstance(smaller, expected_smaller)
+    assert [b for b, __ in smaller.children_items()] == [1, 9]
+
+
+@pytest.mark.parametrize("node_cls", [Node4, Node16, Node48, Node256])
+def test_remove_child(node_cls):
+    node = node_cls()
+    node.set_child(9, Leaf(b"k", b"v"))
+    node.remove_child(9)
+    assert node.child(9) is None
+    assert node.num_children == 0
+    with pytest.raises(KeyError):
+        node.remove_child(9)
+
+
+def test_memory_sizes_are_monotonic():
+    sizes = [cls().memory_bytes() for cls in (Node4, Node16, Node48, Node256)]
+    assert sizes == sorted(sizes)
+    assert sizes[0] < 100  # Node4 stays tiny: ART's compactness claim
+
+
+def test_leaf_memory_models_pointer_tagging():
+    # Values up to 8 bytes embed in the parent slot: zero leaf footprint.
+    assert Leaf(b"12345678", b"12345678").memory_bytes() == 0
+    # Larger values pay the allocation overhead plus the payload.
+    assert Leaf(b"12345678", b"x" * 100).memory_bytes() == 116
+
+
+def test_node48_slot_reuse_after_removal():
+    node = Node48()
+    for byte in range(48):
+        node.set_child(byte, Leaf(bytes([byte]), b"v"))
+    node.remove_child(10)
+    node.set_child(200, Leaf(b"new", b"v"))  # must reuse slot 10
+    assert node.num_children == 48
+    assert node.child(200).key == b"new"

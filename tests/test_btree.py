@@ -1,0 +1,290 @@
+"""Unit and property tests for the in-memory B+ tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.art import encode_int
+from repro.btree import BInner, BLeaf, BPlusTree
+from repro.sim import SimClock
+
+
+def ikey(i: int) -> bytes:
+    return encode_int(i)
+
+
+@pytest.fixture
+def tree():
+    return BPlusTree(capacity=8)  # small capacity exercises splits quickly
+
+
+# ----------------------------------------------------------------------
+# basic operations
+# ----------------------------------------------------------------------
+def test_empty_tree(tree):
+    assert tree.search(ikey(1)) is None
+    assert len(tree) == 0
+
+
+def test_insert_search(tree):
+    assert tree.insert(ikey(5), b"five") is True
+    assert tree.search(ikey(5)) == b"five"
+    assert tree.search(ikey(6)) is None
+
+
+def test_overwrite(tree):
+    tree.insert(ikey(5), b"five")
+    assert tree.insert(ikey(5), b"cinq") is False
+    assert tree.search(ikey(5)) == b"cinq"
+    assert len(tree) == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(capacity=2)
+
+
+def test_many_random_inserts(tree):
+    rng = random.Random(1)
+    keys = rng.sample(range(10**9), 3000)
+    for k in keys:
+        tree.insert(ikey(k), str(k).encode())
+    for k in keys:
+        assert tree.search(ikey(k)) == str(k).encode()
+    assert len(tree) == 3000
+
+
+def test_sequential_inserts(tree):
+    for k in range(2000):
+        tree.insert(ikey(k), b"v")
+    for k in range(2000):
+        assert tree.search(ikey(k)) == b"v"
+
+
+def test_items_sorted(tree):
+    rng = random.Random(2)
+    for k in rng.sample(range(10**6), 700):
+        tree.insert(ikey(k), b"v")
+    keys = [k for k, __ in tree.items()]
+    assert keys == sorted(keys)
+    assert len(keys) == 700
+
+
+def test_scan(tree):
+    for k in range(0, 200, 10):
+        tree.insert(ikey(k), b"v")
+    got = tree.scan(ikey(45), 4)
+    assert [k for k, __ in got] == [ikey(50), ikey(60), ikey(70), ikey(80)]
+
+
+def test_delete(tree):
+    for k in range(100):
+        tree.insert(ikey(k), b"v")
+    assert tree.delete(ikey(50)) is True
+    assert tree.search(ikey(50)) is None
+    assert tree.delete(ikey(50)) is False
+    assert len(tree) == 99
+
+
+def test_delete_all_then_reuse(tree):
+    keys = list(range(500))
+    for k in keys:
+        tree.insert(ikey(k), b"v")
+    random.Random(3).shuffle(keys)
+    for k in keys:
+        assert tree.delete(ikey(k)) is True
+    assert len(tree) == 0
+    tree.insert(ikey(7), b"back")
+    assert tree.search(ikey(7)) == b"back"
+
+
+# ----------------------------------------------------------------------
+# invariants
+# ----------------------------------------------------------------------
+def check_structure(tree) -> int:
+    """Verify sortedness, separator bounds, and leaf_count bookkeeping."""
+
+    def walk(node, low, high) -> int:
+        if isinstance(node, BLeaf):
+            assert node.keys == sorted(node.keys)
+            for k in node.keys:
+                assert (low is None or k >= low) and (high is None or k < high)
+            return len(node.keys)
+        assert isinstance(node, BInner)
+        assert len(node.children) == len(node.separators) + 1
+        assert node.separators == sorted(node.separators)
+        total = 0
+        bounds = [low] + list(node.separators) + [high]
+        for i, child in enumerate(node.children):
+            total += walk(child, bounds[i], bounds[i + 1])
+        assert node.leaf_count == total
+        return total
+
+    return walk(tree.root, None, None)
+
+
+def test_structure_after_random_inserts(tree):
+    rng = random.Random(5)
+    for k in rng.sample(range(10**8), 2000):
+        tree.insert(ikey(k), b"v")
+    assert check_structure(tree) == 2000
+
+
+def test_structure_after_mixed_ops(tree):
+    rng = random.Random(7)
+    keys = rng.sample(range(10**8), 1000)
+    for k in keys:
+        tree.insert(ikey(k), b"v")
+    for k in keys[:500]:
+        tree.delete(ikey(k))
+    assert check_structure(tree) == 500
+
+
+def test_memory_accounting_matches_walk(tree):
+    rng = random.Random(9)
+    for k in rng.sample(range(10**8), 1500):
+        tree.insert(ikey(k), b"payload")
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)
+
+
+def test_memory_accounting_after_deletes(tree):
+    rng = random.Random(11)
+    keys = rng.sample(range(10**8), 800)
+    for k in keys:
+        tree.insert(ikey(k), b"payload")
+    for k in keys[:600]:
+        tree.delete(ikey(k))
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)
+
+
+def test_dirty_propagation(tree):
+    for k in range(200):
+        tree.insert(ikey(k), b"v", dirty=False)
+    assert not tree.root.dirty
+    tree.insert(ikey(500), b"v", dirty=True)
+    assert tree.root.dirty
+    dirty = list(tree.iter_dirty_entries(tree.root))
+    assert dirty == [(ikey(500), b"v")]
+
+
+def test_clear_dirty(tree):
+    for k in range(100):
+        tree.insert(ikey(k), b"v", dirty=True)
+    tree.clear_dirty(tree.root)
+    assert list(tree.iter_dirty_entries(tree.root)) == []
+
+
+def test_dirty_overwrite_marks_clean_entry(tree):
+    tree.insert(ikey(1), b"v", dirty=False)
+    tree.insert(ikey(1), b"w", dirty=True)
+    assert list(tree.iter_dirty_entries(tree.root)) == [(ikey(1), b"w")]
+
+
+# ----------------------------------------------------------------------
+# framework hooks
+# ----------------------------------------------------------------------
+def test_partition_covers_all_keys(tree):
+    rng = random.Random(13)
+    for k in rng.sample(range(10**8), 1200):
+        tree.insert(ikey(k), b"v")
+    entries = tree.partition(depth=1)
+    assert sum(e.node.leaf_count for e in entries) == 1200
+    assert len(entries) > 1
+
+
+def test_partition_on_leaf_root(tree):
+    tree.insert(ikey(1), b"v")
+    entries = tree.partition(depth=2)
+    assert len(entries) == 1
+    assert entries[0].node is tree.root
+
+
+def test_detach_subtree(tree):
+    rng = random.Random(17)
+    for k in rng.sample(range(10**8), 1000):
+        tree.insert(ikey(k), b"v")
+    entries = tree.partition(depth=1)
+    victim = entries[0]
+    removed = victim.node.leaf_count
+    gone_keys = [k for k, __, __d in tree.iter_entries(victim.node)]
+    tree.detach(victim)
+    assert len(tree) == 1000 - removed
+    for k in gone_keys:
+        assert tree.search(k) is None
+    check_structure(tree)
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)
+
+
+def test_detach_all_partitions_empties_tree(tree):
+    for k in range(300):
+        tree.insert(ikey(k), b"v")
+    for entry in tree.partition(depth=1):
+        tree.detach(entry)
+    assert len(tree) == 0
+    tree.insert(ikey(5), b"new")
+    assert tree.search(ikey(5)) == b"new"
+
+
+def test_access_counter_sampling(tree):
+    for k in range(200):
+        tree.insert(ikey(k), b"v")
+    tree.tracking_enabled = True
+    tree.sample_every = 2
+    for __ in range(10):
+        tree.search(ikey(3))
+    assert tree.root.access_count == 5
+    tree.reset_access_counts(tree.root)
+    assert tree.root.access_count == 0
+
+
+def test_cpu_charging():
+    clock = SimClock()
+    tree = BPlusTree(capacity=8, clock=clock)
+    tree.insert(ikey(1), b"v")
+    assert clock.cpu_ns > 0
+
+
+def test_slotted_nodes_report_fixed_footprint():
+    """Slot allocation at capacity: a nearly-empty leaf costs as much as a
+    full one minus payload — the internal-fragmentation effect the paper
+    attributes to page-based structures."""
+    sparse = BPlusTree(capacity=64)
+    sparse.insert(ikey(1), b"v")
+    dense = BPlusTree(capacity=64)
+    for k in range(64):
+        dense.insert(ikey(k), b"v")
+    fixed_sparse = sparse.memory_bytes - 1
+    fixed_dense = dense.memory_bytes - 64
+    assert fixed_sparse == fixed_dense
+
+
+# ----------------------------------------------------------------------
+# property-based
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["put", "del", "get"]), st.integers(0, 400)),
+        max_size=300,
+    )
+)
+def test_matches_reference_model(ops):
+    tree = BPlusTree(capacity=4)
+    model: dict[bytes, bytes] = {}
+    for op, k in ops:
+        key = ikey(k)
+        if op == "put":
+            value = b"v%d" % k
+            assert tree.insert(key, value) == (key not in model)
+            model[key] = value
+        elif op == "del":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.search(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert [k for k, __ in tree.items()] == sorted(model)
+    check_structure(tree)
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)

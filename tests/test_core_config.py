@@ -1,0 +1,45 @@
+"""Unit tests for framework configuration and the memory budget."""
+
+import pytest
+
+from repro.core import IndeXYConfig, MemoryBudget
+
+
+def test_config_defaults():
+    config = IndeXYConfig(memory_limit_bytes=1000)
+    assert config.high_watermark_bytes == 950
+    assert config.low_watermark_bytes == 800
+
+
+def test_config_rejects_bad_limit():
+    with pytest.raises(ValueError):
+        IndeXYConfig(memory_limit_bytes=0)
+
+
+def test_config_rejects_inverted_watermarks():
+    with pytest.raises(ValueError):
+        IndeXYConfig(memory_limit_bytes=100, high_watermark=0.5, low_watermark=0.9)
+
+
+def test_config_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        IndeXYConfig(memory_limit_bytes=100, preclean_interval_inserts=0)
+
+
+def test_budget_high_watermark_detection():
+    budget = MemoryBudget(IndeXYConfig(memory_limit_bytes=1000))
+    assert not budget.over_high_watermark(949)
+    assert budget.over_high_watermark(950)
+
+
+def test_budget_release_target_reaches_low_watermark():
+    budget = MemoryBudget(IndeXYConfig(memory_limit_bytes=1000))
+    assert budget.release_target_bytes(960) == 160
+    assert budget.release_target_bytes(500) == 0
+
+
+def test_tracking_starts_exactly_once_at_low_watermark():
+    budget = MemoryBudget(IndeXYConfig(memory_limit_bytes=1000))
+    assert not budget.should_start_tracking(500)
+    assert budget.should_start_tracking(800)
+    assert not budget.should_start_tracking(900)  # already started

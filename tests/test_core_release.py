@@ -1,0 +1,121 @@
+"""Unit tests for Algorithm 1 (access-density subtree selection)."""
+
+import random
+
+import pytest
+
+from repro.art import AdaptiveRadixTree, encode_int
+from repro.btree import BPlusTree
+from repro.core import ARTIndexX, BTreeIndexX, ReleasePolicy, select_for_release
+
+
+def ikey(i: int) -> bytes:
+    return encode_int(i)
+
+
+def build_art_with_hot_cold(n=4000):
+    """Keys 0..n-1; the lower half of the key space is read-hot."""
+    x = ARTIndexX(AdaptiveRadixTree())
+    rng = random.Random(42)
+    for k in rng.sample(range(n), n):
+        x.insert(ikey(k), b"v")
+    x.enable_tracking(sample_every=1)
+    for __ in range(5):
+        for k in range(0, n // 2, 3):
+            x.search(ikey(k))
+    return x
+
+
+def subtree_keys(x, ref):
+    return [k for k, __ in x.iter_dirty_entries(ref)]
+
+
+def test_zero_target_selects_nothing():
+    x = build_art_with_hot_cold()
+    assert select_for_release(x, 0) == []
+
+
+def test_selection_reaches_target_size():
+    x = build_art_with_hot_cold()
+    target = x.memory_bytes // 4
+    refs = select_for_release(x, target)
+    total = sum(x.subtree_memory(r) for r in refs)
+    assert total >= target
+
+
+def test_selection_prefers_cold_subtrees():
+    x = build_art_with_hot_cold(n=4000)
+    target = x.memory_bytes // 4
+    refs = select_for_release(x, target)
+    released_keys = []
+    for ref in refs:
+        released_keys.extend(subtree_keys(x, ref))
+    # Hot keys live in [0, n/2); the released set must be mostly cold.
+    cold = sum(1 for k in released_keys if int.from_bytes(k, "big") >= 2000)
+    assert released_keys
+    assert cold / len(released_keys) > 0.8
+
+
+def test_selected_refs_are_disjoint():
+    x = build_art_with_hot_cold()
+    refs = select_for_release(x, x.memory_bytes // 3)
+    nodes = {id(r.node) for r in refs}
+    assert len(nodes) == len(refs)
+    for ref in refs:
+        assert not any(id(a) in nodes for a in ref.ancestors)
+
+
+def test_whole_tree_when_target_exceeds_size():
+    x = build_art_with_hot_cold(n=500)
+    refs = select_for_release(x, x.memory_bytes * 10)
+    total = sum(x.subtree_memory(r) for r in refs)
+    # Everything splittable is taken (root or all its subtrees).
+    assert total >= 0.5 * x.memory_bytes
+
+
+def test_detaching_selection_frees_target():
+    x = build_art_with_hot_cold()
+    before = x.memory_bytes
+    target = before // 4
+    refs = select_for_release(x, target)
+    for ref in refs:
+        x.detach(ref)
+    assert x.memory_bytes <= before - target * 0.9
+
+
+def test_btree_adapter_supported():
+    x = BTreeIndexX(BPlusTree(capacity=16))
+    rng = random.Random(7)
+    for k in rng.sample(range(10**7), 3000):
+        x.insert(ikey(k), b"v")
+    x.enable_tracking(1)
+    for k in range(0, 100):
+        x.search(ikey(k))
+    refs = select_for_release(x, x.memory_bytes // 4)
+    assert refs
+    before = x.memory_bytes
+    for ref in refs:
+        x.detach(ref)
+    assert x.memory_bytes < before
+
+
+def test_release_policy_kinds():
+    with pytest.raises(ValueError):
+        ReleasePolicy("nope")
+    x = build_art_with_hot_cold(n=2000)
+    for kind in ("density", "coarse", "random"):
+        policy = ReleasePolicy(kind, partition_depth=1)
+        refs = policy.select(x, x.memory_bytes // 8, 0.1, 0.2)
+        assert refs
+
+
+def test_random_policy_ignores_density():
+    x = build_art_with_hot_cold(n=4000)
+    target = x.memory_bytes // 4
+    random_refs = ReleasePolicy("random", partition_depth=2).select(x, target, 0.1, 0.2)
+    keys = []
+    for ref in random_refs:
+        keys.extend(subtree_keys(x, ref))
+    hot = sum(1 for k in keys if int.from_bytes(k, "big") < 2000)
+    # Random eviction hits the hot half roughly proportionally.
+    assert hot > 0

@@ -1,0 +1,81 @@
+"""Unit tests for the page codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diskbtree import InnerPage, LeafPage, decode_page, encode_page
+
+
+def test_leaf_roundtrip():
+    leaf = LeafPage()
+    leaf.keys = [b"a", b"bb", b"ccc"]
+    leaf.values = [b"1", b"22", b"333"]
+    leaf.next_leaf = 4096
+    decoded = decode_page(encode_page(leaf))
+    assert isinstance(decoded, LeafPage)
+    assert decoded.keys == leaf.keys
+    assert decoded.values == leaf.values
+    assert decoded.next_leaf == 4096
+
+
+def test_leaf_roundtrip_without_next():
+    leaf = LeafPage()
+    leaf.keys, leaf.values = [b"k"], [b"v"]
+    decoded = decode_page(encode_page(leaf))
+    assert decoded.next_leaf is None
+
+
+def test_inner_roundtrip():
+    inner = InnerPage()
+    inner.separators = [b"m", b"t"]
+    inner.children = [0, 4096, 8192]
+    decoded = decode_page(encode_page(inner))
+    assert isinstance(decoded, InnerPage)
+    assert decoded.separators == inner.separators
+    assert decoded.children == inner.children
+
+
+def test_empty_leaf_roundtrip():
+    decoded = decode_page(encode_page(LeafPage()))
+    assert isinstance(decoded, LeafPage)
+    assert decoded.keys == []
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ValueError):
+        decode_page(b"\x09garbage")
+
+
+def test_inner_child_slot():
+    inner = InnerPage()
+    inner.separators = [b"h", b"p"]
+    inner.children = [1, 2, 3]
+    assert inner.child_slot(b"a") == 0
+    assert inner.child_slot(b"h") == 1  # separator key goes right
+    assert inner.child_slot(b"k") == 1
+    assert inner.child_slot(b"z") == 2
+
+
+def test_payload_bytes_tracks_content():
+    leaf = LeafPage()
+    empty = leaf.payload_bytes()
+    leaf.keys, leaf.values = [b"12345678"], [b"abcdefgh"]
+    assert leaf.payload_bytes() == empty + 6 + 16
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.tuples(st.binary(min_size=1, max_size=30), st.binary(max_size=80)), max_size=40),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)),
+)
+def test_leaf_codec_property(entries, next_leaf):
+    entries.sort()
+    leaf = LeafPage()
+    leaf.keys = [k for k, __ in entries]
+    leaf.values = [v for __, v in entries]
+    leaf.next_leaf = next_leaf
+    decoded = decode_page(encode_page(leaf))
+    assert decoded.keys == leaf.keys
+    assert decoded.values == leaf.values
+    assert decoded.next_leaf == next_leaf

@@ -1,0 +1,26 @@
+"""Smoke tests: the runnable examples must keep working end-to-end."""
+
+import importlib
+import sys
+
+
+def run_example(name: str, capsys) -> str:
+    sys.path.insert(0, "examples")
+    try:
+        module = importlib.import_module(name)
+        module.main()
+    finally:
+        sys.path.pop(0)
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    out = run_example("quickstart", capsys)
+    assert "missing keys           : 0" in out
+    assert "release cycles" in out
+
+
+def test_custom_composition_example(capsys):
+    out = run_example("custom_composition", capsys)
+    assert "keys missing  : 0" in out
+    assert "Any ordered index pair plugs in the same way." in out

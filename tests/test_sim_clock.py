@@ -1,0 +1,39 @@
+"""Unit tests for the simulated clock."""
+
+from repro.sim import SimClock
+
+
+def test_clock_starts_at_zero():
+    clock = SimClock()
+    assert clock.cpu_ns == 0.0
+    assert clock.background_ns == 0.0
+
+
+def test_charge_cpu_accumulates():
+    clock = SimClock()
+    clock.charge_cpu(100)
+    clock.charge_cpu(50.5)
+    assert clock.cpu_ns == 150.5
+
+
+def test_charge_background_is_separate_account():
+    clock = SimClock()
+    clock.charge_cpu(10)
+    clock.charge_background(70)
+    assert clock.cpu_ns == 10
+    assert clock.background_ns == 70
+
+
+def test_snapshot_returns_both_accounts():
+    clock = SimClock()
+    clock.charge_cpu(5)
+    clock.charge_background(7)
+    assert clock.snapshot() == (5, 7)
+
+
+def test_reset_clears_both_accounts():
+    clock = SimClock()
+    clock.charge_cpu(5)
+    clock.charge_background(7)
+    clock.reset()
+    assert clock.snapshot() == (0.0, 0.0)

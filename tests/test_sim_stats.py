@@ -1,0 +1,56 @@
+"""Unit tests for named stat counters."""
+
+from repro.sim import StatCounters
+
+
+def test_unknown_counter_reads_zero():
+    stats = StatCounters()
+    assert stats["nope"] == 0
+    assert stats.get("nope") == 0
+
+
+def test_bump_defaults_to_one():
+    stats = StatCounters()
+    stats.bump("hits")
+    stats.bump("hits")
+    assert stats["hits"] == 2
+
+
+def test_bump_with_amount():
+    stats = StatCounters()
+    stats.bump("bytes", 4096)
+    stats.bump("bytes", 100)
+    assert stats["bytes"] == 4196
+
+
+def test_delta_reports_only_changes():
+    stats = StatCounters()
+    stats.bump("a", 5)
+    snap = stats.snapshot()
+    stats.bump("b", 3)
+    stats.bump("a", 0)  # no change
+    assert stats.delta(snap) == {"b": 3}
+
+
+def test_merge_combines_counters():
+    left, right = StatCounters(), StatCounters()
+    left.bump("x", 1)
+    right.bump("x", 2)
+    right.bump("y", 5)
+    left.merge(right)
+    assert left["x"] == 3
+    assert left["y"] == 5
+
+
+def test_reset_clears():
+    stats = StatCounters()
+    stats.bump("x")
+    stats.reset()
+    assert stats.as_dict() == {}
+
+
+def test_iteration_yields_counter_names():
+    stats = StatCounters()
+    stats.bump("one")
+    stats.bump("two")
+    assert sorted(stats) == ["one", "two"]

@@ -1,0 +1,60 @@
+"""Unit tests for the analytic thread model."""
+
+import pytest
+
+from repro.sim import ThreadModel
+
+
+def test_single_thread_is_baseline():
+    model = ThreadModel()
+    assert model.cpu_speedup(1) == 1.0
+    assert model.disk_speedup(1) == 1.0
+    assert model.elapsed_ns(cpu_ns=1000, background_ns=0, disk_ns=0, threads=1) == 1000
+
+
+def test_cpu_scales_with_threads():
+    model = ThreadModel(cpu_scalability=1.0)
+    assert model.cpu_speedup(2) == pytest.approx(2.0)
+    assert model.cpu_speedup(16) == pytest.approx(16.0)
+
+
+def test_cpu_scaling_is_sublinear_with_contention():
+    model = ThreadModel(cpu_scalability=0.9)
+    assert 1.5 < model.cpu_speedup(2) < 2.0
+    # The paper sees roughly 8x peak gain from 2 -> 16 threads.
+    ratio = model.cpu_speedup(16) / model.cpu_speedup(2)
+    assert 4.0 < ratio < 8.0
+
+
+def test_disk_speedup_saturates_at_queue_depth():
+    model = ThreadModel(disk_queue_depth=4, disk_overlap_gain=0.12)
+    assert model.disk_speedup(4) == model.disk_speedup(16)
+    assert model.disk_speedup(2) < model.disk_speedup(4)
+
+
+def test_disk_bound_run_does_not_scale():
+    model = ThreadModel()
+    slow_disk = model.elapsed_ns(cpu_ns=1_000, background_ns=0, disk_ns=1_000_000, threads=2)
+    more_threads = model.elapsed_ns(cpu_ns=1_000, background_ns=0, disk_ns=1_000_000, threads=16)
+    # Within the queue-depth benefit, elapsed time barely improves.
+    assert more_threads > 0.7 * slow_disk
+
+
+def test_cpu_bound_run_scales():
+    model = ThreadModel()
+    base = model.elapsed_ns(cpu_ns=1_000_000, background_ns=0, disk_ns=10, threads=2)
+    wide = model.elapsed_ns(cpu_ns=1_000_000, background_ns=0, disk_ns=10, threads=16)
+    assert wide < base / 4
+
+
+def test_background_work_steals_a_share():
+    model = ThreadModel(background_share=0.35)
+    quiet = model.elapsed_ns(cpu_ns=1_000, background_ns=0, disk_ns=0, threads=1)
+    busy = model.elapsed_ns(cpu_ns=1_000, background_ns=1_000, disk_ns=0, threads=1)
+    assert busy == pytest.approx(quiet + 350)
+
+
+def test_invalid_thread_count_rejected():
+    model = ThreadModel()
+    with pytest.raises(ValueError):
+        model.elapsed_ns(cpu_ns=1, background_ns=0, disk_ns=0, threads=0)

@@ -1,0 +1,147 @@
+"""Unit and integration tests for the TPC-C substrate."""
+
+import pytest
+
+from repro.tpcc import TpccConfig, TpccEngine
+from repro.tpcc import keys
+from repro.tpcc.engine import ORDERLINE_BACKENDS
+
+
+def small_config(**overrides) -> TpccConfig:
+    defaults = dict(
+        warehouses=2,
+        districts_per_warehouse=4,
+        customers_per_district=30,
+        items=100,
+        memory_limit_bytes=512 * 1024,
+    )
+    defaults.update(overrides)
+    return TpccConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+def test_orderline_keys_are_locally_sequential():
+    a = keys.orderline_key(3, 5, 100, 0)
+    b = keys.orderline_key(3, 5, 100, 1)
+    c = keys.orderline_key(3, 5, 101, 0)
+    assert a < b < c
+    # Lines of one order are adjacent: same 12-byte prefix.
+    assert a[:12] == b[:12]
+
+
+def test_key_component_ordering():
+    assert keys.order_key(0, 9, 5) < keys.order_key(1, 0, 0)
+    assert keys.customer_key(1, 2, 3) < keys.customer_key(1, 2, 4)
+    assert keys.stock_key(0, 99) < keys.stock_key(1, 0)
+
+
+# ----------------------------------------------------------------------
+# config / engine construction
+# ----------------------------------------------------------------------
+def test_config_validates_backend():
+    with pytest.raises(ValueError):
+        TpccConfig(orderline_backend="SQLite")
+
+
+def test_config_validates_warehouses():
+    with pytest.raises(ValueError):
+        TpccConfig(warehouses=0)
+
+
+def test_load_populates_tables():
+    engine = TpccEngine(small_config())
+    cfg = engine.config
+    assert engine.item.key_count == cfg.items
+    assert engine.stock.key_count == cfg.warehouses * cfg.items
+    assert engine.district.key_count == cfg.warehouses * cfg.districts_per_warehouse
+    assert (
+        engine.customer.key_count
+        == cfg.warehouses * cfg.districts_per_warehouse * cfg.customers_per_district
+    )
+
+
+# ----------------------------------------------------------------------
+# transactions
+# ----------------------------------------------------------------------
+def test_new_order_inserts_orderlines():
+    engine = TpccEngine(small_config(new_order_fraction=1.0))
+    engine.run(20)
+    assert engine.stats["new_order_txns"] == 20
+    assert 20 * 5 <= engine.stats["orderline_inserts"] <= 20 * 15
+
+
+def test_new_order_advances_district_sequence():
+    engine = TpccEngine(small_config(new_order_fraction=1.0, seed=1))
+    engine.run(50)
+    next_ids = []
+    for w in range(engine.config.warehouses):
+        for d in range(engine.config.districts_per_warehouse):
+            value = engine.district.search(keys.district_key(w, d))
+            next_ids.append(int.from_bytes(value[8:14], "big"))
+    assert sum(n - 1 for n in next_ids) == 50  # every order got a unique o_id
+
+
+def test_payment_updates_balances():
+    engine = TpccEngine(small_config(new_order_fraction=0.0, seed=2))
+    engine.run(50)
+    assert engine.stats["payment_txns"] == 50
+    assert engine.stats["orderline_inserts"] == 0
+    total_ytd = sum(
+        int.from_bytes(engine.warehouse.search(keys.warehouse_key(w)), "big")
+        for w in range(engine.config.warehouses)
+    )
+    assert total_ytd > 0
+    assert engine.history.key_count == 50
+
+
+def test_mixed_run_hits_both_transaction_types():
+    engine = TpccEngine(small_config(seed=3))
+    engine.run(200)
+    assert engine.stats["new_order_txns"] > 50
+    assert engine.stats["payment_txns"] > 50
+
+
+def test_orderlines_are_readable_back():
+    engine = TpccEngine(small_config(new_order_fraction=1.0, seed=4))
+    engine.run(30)
+    value = engine.orderline_read(keys.orderline_key(0, 0, 1, 0))
+    found = value is not None
+    # Order 1 of (0,0) may belong to any warehouse; probe all districts.
+    if not found:
+        for w in range(engine.config.warehouses):
+            for d in range(engine.config.districts_per_warehouse):
+                if engine.orderline_read(keys.orderline_key(w, d, 1, 0)) is not None:
+                    found = True
+                    break
+    assert found
+
+
+@pytest.mark.parametrize("backend", ORDERLINE_BACKENDS)
+def test_all_backends_run_the_mix(backend):
+    engine = TpccEngine(small_config(orderline_backend=backend, seed=5))
+    engine.run(150)
+    assert engine.stats["txns"] == 150
+    snap = engine.snapshot()
+    assert snap.cpu_ns > 0
+    assert engine.memory_bytes > 0
+
+
+def test_memory_limit_squeezes_orderline_index():
+    engine = TpccEngine(
+        small_config(memory_limit_bytes=384 * 1024, new_order_fraction=1.0, seed=6)
+    )
+    engine.run(1200)
+    from repro.core import IndeXY
+
+    assert isinstance(engine.orderline, IndeXY)
+    assert engine.orderline.stats["release_cycles"] >= 1
+    # Overall memory stays near the workload limit.
+    assert engine.memory_bytes < 2.0 * engine.config.memory_limit_bytes
+
+
+def test_snapshot_counts_transactions():
+    engine = TpccEngine(small_config(seed=7))
+    engine.run(40)
+    assert engine.snapshot().ops == 40

@@ -1,0 +1,176 @@
+"""Unit tests for workload generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.systems import build_system
+from repro.workloads import (
+    YCSB_WORKLOADS,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    YcsbSpec,
+    ZipfianGenerator,
+    generate_ycsb_ops,
+    random_insert_keys,
+    run_ops,
+    sequential_insert_keys,
+    shifting_read_keys,
+    working_set_read_keys,
+    zipfian_read_keys,
+)
+
+
+# ----------------------------------------------------------------------
+# distributions
+# ----------------------------------------------------------------------
+def test_zipfian_validates_parameters():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.5)
+
+
+def test_zipfian_range_and_skew():
+    zipf = ZipfianGenerator(1000, theta=0.9, seed=5)
+    draws = [zipf.next() for __ in range(20_000)]
+    assert all(0 <= d < 1000 for d in draws)
+    counts = Counter(draws)
+    # Rank 0 must dominate; the top-10 ranks take a large share.
+    assert counts[0] == max(counts.values())
+    top10 = sum(counts[i] for i in range(10))
+    assert top10 > 0.3 * len(draws)
+
+
+def test_zipfian_higher_theta_is_more_skewed():
+    def top1_share(theta):
+        zipf = ZipfianGenerator(1000, theta=theta, seed=3)
+        draws = [zipf.next() for __ in range(10_000)]
+        return Counter(draws)[0] / len(draws)
+
+    assert top1_share(0.99) > top1_share(0.5)
+
+
+def test_zipfian_deterministic_by_seed():
+    a = ZipfianGenerator(100, seed=9)
+    b = ZipfianGenerator(100, seed=9)
+    assert [a.next() for __ in range(50)] == [b.next() for __ in range(50)]
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    gen = ScrambledZipfianGenerator(10_000, theta=0.9, seed=7)
+    draws = [gen.next() for __ in range(5000)]
+    hot = Counter(draws).most_common(5)
+    # Hot keys are scattered, not clustered at the low end.
+    assert max(key for key, __ in hot) > 1000
+
+
+def test_latest_generator_tracks_frontier():
+    gen = LatestGenerator(initial_max=100, theta=0.7, seed=1)
+    draws = [gen.next() for __ in range(2000)]
+    assert all(0 <= d <= 100 for d in draws)
+    near = sum(1 for d in draws if d > 80)
+    assert near > len(draws) * 0.5  # clustered near the frontier
+    gen.note_insert(500)
+    assert gen.max_key == 500
+
+
+# ----------------------------------------------------------------------
+# micro workloads
+# ----------------------------------------------------------------------
+def test_random_insert_keys_distinct():
+    keys = random_insert_keys(1000, seed=3)
+    assert len(set(keys)) == 1000
+    assert keys != sorted(keys)  # random order
+
+
+def test_sequential_insert_keys():
+    assert sequential_insert_keys(5) == [0, 1, 2, 3, 4]
+
+
+def test_working_set_reads_stay_in_set():
+    reads = list(working_set_read_keys(50, 1000, key_space=10_000, seed=2))
+    assert len(reads) == 1000
+    assert len(set(reads)) <= 50
+
+
+def test_zipfian_reads_cover_space():
+    reads = list(zipfian_read_keys(1000, 5000, theta=0.7))
+    assert all(0 <= r < 1000 for r in reads)
+
+
+def test_shifting_workload_rotates():
+    events = list(
+        shifting_read_keys(
+            key_space=1000, phases=4, reads_per_phase=400, access_unit=1, seed=5
+        )
+    )
+    assert {p for p, __, ___ in events} == {0, 1, 2, 3}
+    # Hot region moves: the most common key of phase 0 and phase 2 differ
+    # by roughly half the key space.
+    def hot_key(phase):
+        keys = [k for p, k, __ in events if p == phase]
+        return Counter(keys).most_common(1)[0][0]
+
+    assert abs(hot_key(2) - hot_key(0)) > 250
+
+
+def test_shifting_access_unit_batches_reads():
+    events = list(
+        shifting_read_keys(key_space=100, phases=1, reads_per_phase=100, access_unit=10)
+    )
+    assert len(events) == 10
+    assert all(unit == 10 for __, ___, unit in events)
+
+
+# ----------------------------------------------------------------------
+# YCSB
+# ----------------------------------------------------------------------
+def test_ycsb_specs_sum_to_one():
+    for spec in YCSB_WORKLOADS.values():
+        total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw + spec.read_latest
+        assert abs(total - 1.0) < 1e-9
+
+
+def test_ycsb_spec_validation():
+    with pytest.raises(ValueError):
+        YcsbSpec("bad", read=0.5)
+
+
+def test_load_phase_covers_every_key_once():
+    ops = list(generate_ycsb_ops(YCSB_WORKLOADS["Load"], 500, 500))
+    assert len(ops) == 500
+    assert {k for __, k, ___ in ops} == set(range(500))
+    assert all(op == "insert" for op, __, ___ in ops)
+
+
+def test_workload_a_mix():
+    ops = list(generate_ycsb_ops(YCSB_WORKLOADS["A"], 1000, 4000, seed=1))
+    counts = Counter(op for op, __, ___ in ops)
+    assert 0.4 < counts["read"] / 4000 < 0.6
+    assert 0.4 < counts["update"] / 4000 < 0.6
+
+
+def test_workload_e_scan_lengths():
+    ops = list(generate_ycsb_ops(YCSB_WORKLOADS["E"], 1000, 2000, seed=2))
+    lengths = [extra for op, __, extra in ops if op == "scan"]
+    assert lengths
+    assert all(1 <= l <= 100 for l in lengths)
+    assert 30 < sum(lengths) / len(lengths) < 70  # mean ~50
+
+
+def test_workload_d_reads_latest():
+    ops = list(generate_ycsb_ops(YCSB_WORKLOADS["D"], 1000, 3000, seed=3))
+    reads = [k for op, k, __ in ops if op == "read"]
+    # Reads cluster near the (moving) frontier at key ~1000+.
+    assert sum(1 for k in reads if k > 800) > len(reads) * 0.5
+
+
+def test_run_ops_executes_against_system():
+    system = build_system("ART-LSM", memory_limit_bytes=1 << 20)
+    load = generate_ycsb_ops(YCSB_WORKLOADS["Load"], 300, 300)
+    assert run_ops(system, load) == 300
+    mixed = generate_ycsb_ops(YCSB_WORKLOADS["A"], 300, 500, seed=9)
+    assert run_ops(system, mixed) == 500
+    assert system.stats["ops"] >= 800
