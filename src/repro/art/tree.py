@@ -184,7 +184,9 @@ class AdaptiveRadixTree:
             node = child
             depth += 1
 
-    def _finish_insert(self, path: list[InnerNode], dirty: bool, new_key: bool, visits: int) -> None:
+    def _finish_insert(
+        self, path: list[InnerNode], dirty: bool, new_key: bool, visits: int
+    ) -> None:
         for node in path:
             if dirty:
                 node.dirty = True

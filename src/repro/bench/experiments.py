@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 
 from repro.bench.harness import insert_series, preload_into_y, read_throughput
-from repro.bench.report import format_table, write_result
+from repro.bench.report import format_background_report, format_table, write_result
 from repro.systems import build_system
 from repro.workloads import (
     YCSB_WORKLOADS,
@@ -103,12 +103,19 @@ def fig3_inserts(
         ["System", "KOPS (start)", "KOPS (end)", "peak mem MB"],
         rows,
     )
+    background_tables = {
+        name: format_background_report(
+            f"Background maintenance per slice — {name} ({order} inserts)", samples
+        )
+        for name, samples in series.items()
+    }
     payload = {
         "experiment": f"fig3_{order}",
         "n_keys": n_keys,
         "limit_bytes": limit,
         "series": series,
         "table": table,
+        "background_tables": background_tables,
     }
     write_result(f"fig3_{order}", payload)
     return payload

@@ -18,10 +18,16 @@ def insert_series(
 
     Returns one sample dict per chunk: keys inserted so far, throughput of
     the chunk in KOPS (thousands of ops per simulated second), and the
-    system's memory footprint.
+    system's memory footprint.  Systems built on an
+    :class:`~repro.sim.runtime.EngineRuntime` additionally get a
+    ``background`` entry per slice: the slice's background-CPU utilization
+    and the per-task scheduler metric deltas (runs, inline fallbacks,
+    deferrals, queue depth, time charged) from the runtime's stats bus.
     """
     samples: list[dict] = []
     previous = system.snapshot()
+    runtime = getattr(system, "runtime", None)
+    stats_before = runtime.stats.snapshot() if runtime is not None else None
     inserted = 0
     for key in keys:
         system.insert(key, value)
@@ -29,13 +35,19 @@ def insert_series(
         if inserted % chunk == 0:
             current = system.snapshot()
             delta = previous.delta(current)
-            samples.append(
-                {
-                    "keys": inserted,
-                    "kops": delta.throughput_ops(threads, system.thread_model) / 1e3,
-                    "memory_mb": system.memory_bytes / (1 << 20),
+            sample = {
+                "keys": inserted,
+                "kops": delta.throughput_ops(threads, system.thread_model) / 1e3,
+                "memory_mb": system.memory_bytes / (1 << 20),
+            }
+            if runtime is not None:
+                elapsed = delta.elapsed_ns(threads, system.thread_model)
+                sample["background"] = {
+                    "utilization": delta.background_ns / elapsed if elapsed > 0 else 0.0,
+                    "tasks": runtime.task_metrics(stats_before),
                 }
-            )
+                stats_before = runtime.stats.snapshot()
+            samples.append(sample)
             previous = current
     return samples
 

@@ -24,6 +24,58 @@ def format_table(title: str, headers: list[str], rows: list[list[Any]]) -> str:
     return "\n".join(lines)
 
 
+def format_background_report(title: str, samples: list[dict]) -> str:
+    """Render per-slice background-task metrics from ``insert_series`` samples.
+
+    One row per (slice, task) with scheduler activity; the slice's key
+    count and background-CPU utilization appear on its first row only.
+    Slices without a ``background`` entry (systems not built on an
+    ``EngineRuntime``) are skipped.
+    """
+    headers = [
+        "keys",
+        "bg_util",
+        "task",
+        "runs",
+        "inline",
+        "deferred",
+        "queue",
+        "fg_ms",
+        "bg_ms",
+        "disk_ms",
+    ]
+    rows: list[list[Any]] = []
+    for sample in samples:
+        background = sample.get("background")
+        if not background:
+            continue
+        first = True
+        for name in sorted(background["tasks"]):
+            metrics = background["tasks"][name]
+            active = any(
+                metrics.get(key)
+                for key in ("runs", "submits", "deferred", "queue_depth")
+            )
+            if not active:
+                continue
+            rows.append(
+                [
+                    sample["keys"] if first else "",
+                    f"{background['utilization']:.3f}" if first else "",
+                    name,
+                    int(metrics.get("runs", 0)),
+                    int(metrics.get("inline", 0)),
+                    int(metrics.get("deferred", 0)),
+                    int(metrics.get("queue_depth", 0)),
+                    metrics.get("cpu_ns", 0.0) / 1e6,
+                    metrics.get("background_ns", 0.0) / 1e6,
+                    metrics.get("disk_ns", 0.0) / 1e6,
+                ]
+            )
+            first = False
+    return format_table(title, headers, rows)
+
+
 def _fmt(cell: Any) -> str:
     if isinstance(cell, float):
         if cell >= 1000:

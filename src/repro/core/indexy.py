@@ -4,14 +4,22 @@ Wires together an Index X adapter, an Index Y, the memory budget, the
 pre-cleaner, and the release policy into a single ordered key-value index
 (Section II-A's architecture).  Data flow:
 
-* **insert** goes to Index X (dirty), advances the pre-cleaner's insert
-  timer, and — when the high watermark is crossed — triggers a release
-  cycle that persists and detaches the coldest subtrees;
+* **insert** goes to Index X (dirty) and advances the engine runtime's
+  background scheduler, which paces the pre-cleaning passes; when the high
+  watermark is crossed, a release cycle is submitted to the scheduler (and
+  run inline as a synchronous fallback if the scheduler is saturated) to
+  persist and detach the coldest subtrees;
 * **get** searches X first (X is the read cache); on a miss it consults Y
   and, on a hit there, inserts the key into X *clean* (its copy in Y
   survives, Section II-D);
 * **scan** merges X and Y ranges with X winning on duplicates (X holds the
   freshest version of any key present in both).
+
+All background maintenance — pre-cleaning, release, and whatever the Index
+Y registers for itself (LSM compaction, buffer-pool write-back) — runs
+through the one :class:`~repro.sim.runtime.BackgroundScheduler` owned by
+the :class:`~repro.sim.runtime.EngineRuntime`, so pacing, backpressure,
+and per-task accounting are uniform across layers.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from repro.core.membudget import MemoryBudget
 from repro.core.precleaner import PreCleaner
 from repro.core.release import ReleasePolicy
 from repro.sim.clock import SimClock
-from repro.sim.stats import StatCounters
+from repro.sim.runtime import EngineRuntime
 
 
 class IndeXY:
@@ -40,11 +48,16 @@ class IndeXY:
         check_back: bool = True,
         load_on_miss: bool = True,
         clock: SimClock | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
         self.x = index_x
         self.y = index_y
         self.config = config
-        self.stats = StatCounters()
+        #: the shared engine substrate; a private one is created for
+        #: standalone use (direct construction in tests, examples).  The
+        #: legacy ``clock`` argument wraps the given clock in a runtime.
+        self.runtime = runtime if runtime is not None else EngineRuntime(clock=clock)
+        self.stats = self.runtime.stats
         self.budget = MemoryBudget(config)
         self.precleaner = PreCleaner(
             index_x,
@@ -61,9 +74,30 @@ class IndeXY:
         #: from Y every time instead of being cached into X.
         self.load_on_miss = load_on_miss
         self._y_populated = False
-        #: optional clock for charging release-lock stalls (see
-        #: :meth:`release_cycle`).
-        self._clock = clock
+        self._clock = self.runtime.clock
+
+        scheduler = self.runtime.scheduler
+        #: release is the urgent task: unpaced, tiny queue, and the
+        #: foreground stalls it causes stay charged to the foreground
+        #: clock (the paper's subtree-lock semantics).
+        self._release_task = scheduler.register(
+            "release",
+            self._scheduled_release,
+            priority=0,
+            backpressure_threshold=1,
+        )
+        #: pre-cleaning is the paced task: one pass per
+        #: ``preclean_interval_inserts`` scheduler ticks, exactly the
+        #: paper's insert-count timer.
+        self._preclean_task = None
+        if precleaning_enabled:
+            self._preclean_task = scheduler.register(
+                "preclean",
+                self._scheduled_preclean,
+                priority=20,
+                pacing_interval_ops=config.preclean_interval_inserts,
+                periodic=True,
+            )
 
     # ------------------------------------------------------------------
     # key-value operations
@@ -72,13 +106,11 @@ class IndeXY:
         self.x.insert(key, value, dirty=True)
         self.stats.bump("inserts")
         self._after_growth()
-        # Pre-cleaning only matters once unloading is on the horizon: it
-        # starts with statistics tracking at the low watermark, so an index
-        # that fits in memory never pays for it.
+        # Background maintenance only matters once unloading is on the
+        # horizon: the scheduler's pacing clock starts at the low
+        # watermark, so an index that fits in memory never pays for it.
         if self.budget.tracking_started:
-            self.precleaner.note_inserts(1)
-            if not self._y_populated and self.stats["preclean_writebacks"]:
-                self._y_populated = True
+            self.runtime.scheduler.tick(1)
 
     def get(self, key: bytes) -> Optional[bytes]:
         value = self.x.search(key)
@@ -102,8 +134,11 @@ class IndeXY:
 
     def delete(self, key: bytes) -> bool:
         present_x = self.x.delete(key)
-        if self._y_populated:
-            self.y.delete(key)
+        # Delete-through unconditionally: Y may hold a copy even while
+        # ``_y_populated`` is still False (a pre-clean pass can write the
+        # key to Y before the flag flips), and a Y-only copy must never
+        # resurrect a deleted key via get/scan.
+        self.y.delete(key)
         self.stats.bump("deletes")
         return present_x
 
@@ -150,6 +185,12 @@ class IndeXY:
         self.config = replace(self.config, memory_limit_bytes=max(1, limit_bytes))
         self.budget.config = self.config
         self.precleaner.config = self.config
+        # Keep the release policy's partition depth in lockstep with the
+        # refreshed config: a stale depth would make the coarse/random
+        # policies partition at the wrong tree level after a limit change.
+        self.release_policy.partition_depth = self.config.partition_depth
+        if self._preclean_task is not None:
+            self._preclean_task.pacing_interval_ops = self.config.preclean_interval_inserts
 
     def _after_growth(self) -> None:
         memory = self.x.memory_bytes
@@ -157,7 +198,27 @@ class IndeXY:
             self.x.enable_tracking(self.config.sample_every)
             self.stats.bump("tracking_started")
         if self.budget.over_high_watermark(memory):
-            self.release_cycle()
+            scheduler = self.runtime.scheduler
+            if scheduler.saturated(self._release_task):
+                # Backpressure: the release queue is full, so the memory
+                # pressure is resolved synchronously on the foreground
+                # path (the paper's stall semantics under overload).
+                self.stats.bump("release_inline_fallbacks")
+                scheduler.run_inline(self._release_task)
+            else:
+                scheduler.submit(self._release_task)
+
+    def _scheduled_release(self) -> int:
+        return self.release_cycle()
+
+    def _scheduled_preclean(self) -> bool:
+        cleaned = self.precleaner.run_pass()
+        # Flip the Y-populated flag synchronously with the write-back:
+        # a delete landing between a pre-clean write and a deferred flag
+        # flip must still see Y as live.
+        if not self._y_populated and self.stats["preclean_writebacks"]:
+            self._y_populated = True
+        return cleaned
 
     def release_cycle(self) -> int:
         """Persist and detach cold subtrees until under the low watermark.
@@ -206,7 +267,7 @@ class IndeXY:
 
         The subtree lock blocks foreground access to that key region for
         the duration of the write, so the write's disk time also shows up
-        as foreground CPU-side stall when a clock was provided.
+        as foreground CPU-side stall on the runtime's clock.
         """
         disk = getattr(self.y, "disk", None)
         busy_before = disk.busy_ns if disk is not None else 0.0
@@ -214,7 +275,7 @@ class IndeXY:
         if disk is None:
             return 0.0
         stall_ns = disk.busy_ns - busy_before
-        if self._clock is not None and stall_ns > 0:
+        if stall_ns > 0:
             self._clock.charge_cpu(stall_ns)
         return stall_ns
 
@@ -232,6 +293,7 @@ class IndeXY:
 
     def flush(self) -> None:
         """Persist every dirty key to Y (checkpoint / shutdown)."""
+        self.runtime.scheduler.drain()
         root = self.x.root_ref()
         batch = list(self.x.iter_dirty_entries(root))
         if batch:

@@ -18,7 +18,10 @@ most-friendly Index Y."*  This module implements that design:
 When a region is re-homed, its data migrates to the new backend in one
 sorted bulk pass (scan-drain from the old home, batch-write to the new),
 so scans immediately benefit from the friendlier structure; point reads
-keep a fallback path for any copy the migration missed.
+keep a fallback path for any copy the migration missed.  Routers built on
+an :class:`~repro.sim.runtime.EngineRuntime` register the migration as a
+``rehome_migration`` maintenance task on the shared background scheduler;
+standalone routers migrate inline.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from collections import defaultdict
 from typing import Optional
 
 from repro.core.interfaces import IndexY
+from repro.sim.runtime import EngineRuntime
 from repro.sim.stats import StatCounters
 
 
@@ -97,16 +101,29 @@ class KeyRegionRouter:
 class RoutedIndexY:
     """An IndexY composed of several backends behind a router."""
 
-    def __init__(self, backends: dict[str, IndexY], router: KeyRegionRouter) -> None:
+    def __init__(
+        self,
+        backends: dict[str, IndexY],
+        router: KeyRegionRouter,
+        runtime: EngineRuntime | None = None,
+    ) -> None:
         missing = {router.default, router.scan_backend} - set(backends)
         if missing:
             raise ValueError(f"router references unknown backends: {sorted(missing)}")
         self.backends = backends
         self.router = router
-        self.stats = StatCounters()
+        self.stats = runtime.stats if runtime is not None else StatCounters()
         #: which backends hold data for each region — lets scans skip
         #: backends with nothing in range (and migrations update it).
         self._holders: defaultdict[bytes, set[str]] = defaultdict(set)
+        self._scheduler = runtime.scheduler if runtime is not None else None
+        self._migration_task = None
+        if self._scheduler is not None:
+            self._migration_task = self._scheduler.register(
+                "rehome_migration",
+                priority=5,
+                backpressure_threshold=4,
+            )
 
     # ------------------------------------------------------------------
     # writes
@@ -150,7 +167,7 @@ class RoutedIndexY:
     def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
         rehomed = self.router.note_scan(start)
         if rehomed is not None:
-            self._migrate(*rehomed)
+            self._request_migration(rehomed)
         candidates = self._scan_candidates(start)
         per_backend = {
             name: self.backends[name].scan(start, count) for name in candidates
@@ -181,6 +198,26 @@ class RoutedIndexY:
         if not names:
             return list(self.backends)
         return sorted(names)
+
+    def _request_migration(self, rehomed: tuple[bytes, str, str]) -> None:
+        """Route a re-homing migration through the background scheduler.
+
+        The default pacing of 0 drains the submitted work immediately, so
+        the scan that triggered the re-homing still observes the migrated
+        data; a saturated queue falls back to migrating inline.
+        """
+        region, old_home, new_home = rehomed
+        if self._migration_task is None:
+            self._migrate(region, old_home, new_home)
+            return
+        def work() -> None:
+            self._migrate(region, old_home, new_home)
+
+        if self._scheduler.saturated(self._migration_task):
+            self.stats.bump("migration_inline_fallbacks")
+            self._scheduler.run_inline(self._migration_task, work)
+        else:
+            self._scheduler.submit(self._migration_task, work)
 
     def _migrate(self, region: bytes, old_home: str, new_home: str) -> None:
         """Move a re-homed region's data to its new backend.

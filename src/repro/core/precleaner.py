@@ -21,6 +21,13 @@ at a time).  The inner-node list is rebuilt per pass — a deliberate
 simplification of the paper's "reconstruct on node add/remove" rule that
 has identical observable behaviour, because the paper's scan likewise makes
 at most one pass per timer expiry.
+
+When wired into :class:`~repro.core.indexy.IndeXY`, the timer lives in the
+engine runtime's :class:`~repro.sim.runtime.BackgroundScheduler` (a
+periodic task paced at ``preclean_interval_inserts`` foreground inserts)
+and the scheduler invokes :meth:`PreCleaner.run_pass` directly.  The
+standalone :meth:`PreCleaner.note_inserts` timer remains for driving a
+cleaner outside a runtime.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.sim.stats import StatCounters
 
 
 class PreCleaner:
-    """The pre-cleaning "thread" (runs inline, charged as background CPU)."""
+    """The pre-cleaning "thread" (a paced task on the background scheduler)."""
 
     def __init__(
         self,

@@ -14,6 +14,12 @@ pages out:
   (they saturate with dirty entries quickly, get evicted, and force
   read-modify-writes when their key range is hit again) while large pages
   absorb more inserts per write-back.
+
+The proactive write-back is a maintenance task: pools constructed with an
+:class:`~repro.sim.runtime.EngineRuntime` submit the batch flush to the
+runtime's background scheduler (with an inline fallback under saturation);
+standalone pools flush inline.  Eviction-on-pressure stays on the
+foreground path — a faulting access cannot proceed without a free frame.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.diskbtree.page import Page, decode_page, encode_page
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.runtime import EngineRuntime
 from repro.sim.stats import StatCounters
 
 
@@ -57,11 +64,18 @@ class BufferPool:
 
     def __init__(
         self,
-        disk: SimDisk,
-        config: BufferPoolConfig,
+        disk: SimDisk | None = None,
+        config: BufferPoolConfig | None = None,
         clock: SimClock | None = None,
         costs: CostModel | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
+        if runtime is not None:
+            disk = disk if disk is not None else runtime.disk
+            clock = clock if clock is not None else runtime.clock
+            costs = costs if costs is not None else runtime.costs
+        if disk is None or config is None:
+            raise TypeError("BufferPool needs a disk (or runtime) and a config")
         if config.capacity_bytes < 2 * config.page_size:
             raise ValueError("buffer pool must hold at least two pages")
         self.disk = disk
@@ -72,6 +86,15 @@ class BufferPool:
         self._frames: dict[int, _Frame] = {}
         self._clock_order: list[int] = []
         self._hand = 0
+        self._scheduler = runtime.scheduler if runtime is not None else None
+        self._writeback_task = None
+        if self._scheduler is not None:
+            self._writeback_task = self._scheduler.register(
+                "pool_writeback",
+                self._proactive_writeback_pass,
+                priority=15,
+                backpressure_threshold=2,
+            )
 
     # ------------------------------------------------------------------
     # page access
@@ -198,13 +221,31 @@ class BufferPool:
         self.stats.bump("writebacks")
         self.stats.bump("writeback_bytes", len(blob))
 
-    def _maybe_proactive_writeback(self) -> None:
-        """LeanStore policy: flush-and-evict the most-dirtied frames."""
+    def _writeback_needed(self) -> bool:
+        """True when the dirty fraction has crossed the flush threshold."""
         if len(self._frames) < self.capacity_frames:
+            return False
+        dirty = sum(1 for f in self._frames.values() if f.dirty)
+        return dirty >= self.config.dirty_fraction * len(self._frames)
+
+    def _maybe_proactive_writeback(self) -> None:
+        """Trigger check: route the batch flush through the scheduler."""
+        if not self._writeback_needed():
+            return
+        if self._writeback_task is None:
+            self._proactive_writeback_pass()
+            return
+        if self._scheduler.saturated(self._writeback_task):
+            self.stats.bump("writeback_inline_fallbacks")
+            self._scheduler.run_inline(self._writeback_task)
+        else:
+            self._scheduler.submit(self._writeback_task)
+
+    def _proactive_writeback_pass(self) -> None:
+        """LeanStore policy: flush-and-evict the most-dirtied frames."""
+        if not self._writeback_needed():
             return
         dirty_frames = [(pid, f) for pid, f in self._frames.items() if f.dirty]
-        if len(dirty_frames) < self.config.dirty_fraction * len(self._frames):
-            return
         batch = max(1, int(self.config.writeback_batch_fraction * len(self._frames)))
         dirty_frames.sort(key=lambda item: item[1].dirty_entries, reverse=True)
         for pid, frame in dirty_frames[:batch]:

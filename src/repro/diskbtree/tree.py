@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.diskbtree.bufferpool import BufferPool, BufferPoolConfig
-from repro.diskbtree.page import InnerPage, LeafPage, Page
+from repro.diskbtree.page import InnerPage, LeafPage
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
@@ -29,12 +29,19 @@ class DiskBPlusTree:
 
     def __init__(
         self,
-        disk: SimDisk,
-        pool_bytes: int,
+        disk: SimDisk | None = None,
+        pool_bytes: int = 0,
         page_size: int = 4096,
         clock: SimClock | None = None,
         costs: CostModel | None = None,
+        runtime: "EngineRuntime | None" = None,
     ) -> None:
+        if runtime is not None:
+            disk = disk if disk is not None else runtime.disk
+            clock = clock if clock is not None else runtime.clock
+            costs = costs if costs is not None else runtime.costs
+        if disk is None:
+            raise TypeError("DiskBPlusTree needs a disk or a runtime")
         self.clock = clock
         self.costs = costs or CostModel()
         self.page_size = page_size
@@ -43,6 +50,7 @@ class DiskBPlusTree:
             BufferPoolConfig(capacity_bytes=pool_bytes, page_size=page_size),
             clock=clock,
             costs=self.costs,
+            runtime=runtime,
         )
         self.stats = StatCounters()
         root = LeafPage()

@@ -4,8 +4,13 @@ Wires MemTable, SSTables, compaction, and caches into a key-value store
 with the interface the IndeXY framework expects of an Index Y.  Level 0
 collects freshly flushed (mutually overlapping) tables; levels 1+ hold
 non-overlapping sorted runs with exponentially growing byte budgets.
-Compaction runs inline when a level exceeds its budget, charging
-background CPU and real simulated disk I/O — so compaction competes with
+
+Compaction is a maintenance task: when constructed with an
+:class:`~repro.sim.runtime.EngineRuntime`, a flush that pushes a level
+over budget *submits* compaction work to the runtime's background
+scheduler (falling back to an inline run when the scheduler reports
+saturation); standalone stores compact inline.  Either way compaction
+charges background CPU and real simulated disk I/O — so it competes with
 foreground requests for the disk exactly as the paper observes (the
 ART-LSM throughput fluctuation in Figure 9).
 """
@@ -23,6 +28,7 @@ from repro.lsm.sstable import SSTable
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.runtime import EngineRuntime
 from repro.sim.stats import StatCounters
 
 #: Deletion marker. Chosen to be an impossible user value (values are
@@ -55,16 +61,32 @@ class LSMStore:
 
     def __init__(
         self,
-        disk: SimDisk,
+        disk: SimDisk | None = None,
         config: LSMConfig | None = None,
         clock: SimClock | None = None,
         costs: CostModel | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
+        if runtime is not None:
+            disk = disk if disk is not None else runtime.disk
+            clock = clock if clock is not None else runtime.clock
+            costs = costs if costs is not None else runtime.costs
+        if disk is None:
+            raise TypeError("LSMStore needs a disk or a runtime")
         self.disk = disk
         self.config = config or LSMConfig()
         self.clock = clock
         self.costs = costs or CostModel()
         self.stats = StatCounters()
+        self._scheduler = runtime.scheduler if runtime is not None else None
+        self._compaction_task = None
+        if self._scheduler is not None:
+            self._compaction_task = self._scheduler.register(
+                "lsm_compaction",
+                self._maybe_compact,
+                priority=10,
+                backpressure_threshold=4,
+            )
         self._table_ids = itertools.count(1)
         self._memtable = self._new_memtable()
         #: levels[0] is newest-first and may overlap; levels[n>=1] are
@@ -115,7 +137,7 @@ class LSMStore:
         self._memtable = self._new_memtable()
         self.stats.bump("flushes")
         self.stats.bump("flush_bytes", table.data_bytes)
-        self._maybe_compact()
+        self._request_compaction()
 
     # ------------------------------------------------------------------
     # compaction
@@ -125,6 +147,22 @@ class LSMStore:
 
     def _level_bytes(self, level: int) -> int:
         return sum(t.data_bytes for t in self.levels[level])
+
+    def _request_compaction(self) -> None:
+        """Route compaction through the background scheduler when wired.
+
+        Standalone stores (no runtime) compact inline, as do stores whose
+        compaction queue is saturated — the backpressure fallback that
+        keeps level budgets bounded under write bursts.
+        """
+        if self._compaction_task is None:
+            self._maybe_compact()
+            return
+        if self._scheduler.saturated(self._compaction_task):
+            self.stats.bump("compaction_inline_fallbacks")
+            self._scheduler.run_inline(self._compaction_task)
+        else:
+            self._scheduler.submit(self._compaction_task)
 
     def _maybe_compact(self) -> None:
         # L0 compacts by table count (tables overlap, reads touch them all).
@@ -172,7 +210,7 @@ class LSMStore:
             self.levels[level + 1].sort(key=lambda t: t.min_key)
 
     def _is_bottom(self, level: int) -> bool:
-        return all(not self.levels[l] for l in range(level + 1, self.config.max_levels))
+        return all(not self.levels[lv] for lv in range(level + 1, self.config.max_levels))
 
     def _merge_tables(
         self, newer: list[SSTable], older: list[SSTable], drop_tombstones: bool

@@ -24,12 +24,16 @@ pattern, I/O volume, and structural op counts — exactly what is charged here.
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import DiskSpec, SimDisk
+from repro.sim.runtime import BackgroundScheduler, EngineRuntime, MaintenanceTask
 from repro.sim.stats import StatCounters
 from repro.sim.threads import ThreadModel
 
 __all__ = [
+    "BackgroundScheduler",
     "CostModel",
     "DiskSpec",
+    "EngineRuntime",
+    "MaintenanceTask",
     "SimClock",
     "SimDisk",
     "StatCounters",

@@ -1,0 +1,344 @@
+"""Engine runtime: the shared simulation substrate plus background scheduling.
+
+Historically every system wired its own ``SimClock``/``SimDisk``/
+``StatCounters`` triple and every maintenance mechanism (pre-cleaning,
+subtree release, LSM compaction, buffer-pool write-back) invented its own
+trigger plumbing inline on the foreground path.  :class:`EngineRuntime`
+replaces those per-layer triples with one shared substrate, and
+:class:`BackgroundScheduler` gives all background maintenance a single,
+uniform seam:
+
+* a :class:`MaintenanceTask` registers a *runner* plus a priority, a pacing
+  interval (in foreground operations — the simulation's only clock), a
+  backpressure threshold, and a charge mode;
+* producers **submit** work instead of running it inline; the scheduler
+  runs it when the task's pacing allows (immediately, for the default
+  pacing of 0, which preserves the paper's semantics exactly);
+* when a task's queue exceeds its backpressure threshold the scheduler
+  reports **saturation** and the producer falls back to running the work
+  synchronously on the foreground path — the paper's stall semantics;
+* every run is measured (foreground CPU, background CPU, and disk time
+  deltas) and recorded on the runtime's stats bus as ``task_<name>_*``
+  counters, so benchmarks can report background utilization per slice.
+
+Charge modes: ``"inherit"`` leaves simulated-time charges exactly where the
+component put them (the default — release stalls deliberately hit the
+foreground clock, compaction already charges background); ``"background"``
+re-books any foreground CPU the runner charged onto the background account,
+for work that a real deployment would move onto a dedicated thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.stats import StatCounters
+from repro.sim.threads import ThreadModel
+
+#: valid values for :attr:`MaintenanceTask.charge`.
+CHARGE_MODES = ("inherit", "background")
+
+
+class MaintenanceTask:
+    """One registered background-maintenance activity.
+
+    Tasks come in two flavours:
+
+    * **queued** (default): producers submit work items (thunks); the
+      scheduler runs them when the task's pacing interval has elapsed.
+    * **periodic**: the task's own ``runner`` fires once every
+      ``pacing_interval_ops`` scheduler ticks (the pre-cleaner's
+      insert-count timer, generalized).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        runner: Optional[Callable[[], object]] = None,
+        *,
+        priority: int = 10,
+        pacing_interval_ops: int = 0,
+        backpressure_threshold: int = 8,
+        charge: str = "inherit",
+        periodic: bool = False,
+    ) -> None:
+        if charge not in CHARGE_MODES:
+            raise ValueError(f"unknown charge mode {charge!r}; choose from {CHARGE_MODES}")
+        if periodic and runner is None:
+            raise ValueError("a periodic task needs a runner")
+        if pacing_interval_ops < 0:
+            raise ValueError("pacing_interval_ops must be >= 0")
+        self.name = name
+        self.runner = runner
+        self.priority = priority
+        self.pacing_interval_ops = pacing_interval_ops
+        self.backpressure_threshold = backpressure_threshold
+        self.charge = charge
+        self.periodic = periodic
+        self.queue: deque[Callable[[], object]] = deque()
+        #: scheduler-op count at the task's last run (pacing reference).
+        self.last_run_ops = 0
+        #: reentrancy guard: True while the scheduler is inside the runner.
+        self.running = False
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def due(self, ops_now: int) -> bool:
+        """True when the pacing interval since the last run has elapsed."""
+        return ops_now - self.last_run_ops >= self.pacing_interval_ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "periodic" if self.periodic else "queued"
+        return (
+            f"MaintenanceTask({self.name!r}, {kind}, prio={self.priority}, "
+            f"pace={self.pacing_interval_ops}, depth={self.queue_depth})"
+        )
+
+
+class BackgroundScheduler:
+    """Priority-ordered, paced dispatch of registered maintenance tasks.
+
+    The scheduler is deliberately synchronous — there are no real threads
+    in the simulation — but it is the single point where *when* background
+    work runs is decided, which is the seam later asynchronous or sharded
+    executions plug into.  ``tick`` advances the pacing clock (one tick per
+    foreground operation the caller deems maintenance-relevant) and drains
+    whatever became due; ``submit`` enqueues one work item and drains it
+    immediately when the task is unpaced.
+    """
+
+    def __init__(self, runtime: "EngineRuntime") -> None:
+        self.runtime = runtime
+        self._tasks: list[MaintenanceTask] = []
+        self._ops = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        runner: Optional[Callable[[], object]] = None,
+        *,
+        priority: int = 10,
+        pacing_interval_ops: int = 0,
+        backpressure_threshold: int = 8,
+        charge: str = "inherit",
+        periodic: bool = False,
+    ) -> MaintenanceTask:
+        task = MaintenanceTask(
+            name,
+            runner,
+            priority=priority,
+            pacing_interval_ops=pacing_interval_ops,
+            backpressure_threshold=backpressure_threshold,
+            charge=charge,
+            periodic=periodic,
+        )
+        task.last_run_ops = self._ops
+        self._tasks.append(task)
+        self._tasks.sort(key=lambda t: t.priority)
+        return task
+
+    @property
+    def tasks(self) -> list[MaintenanceTask]:
+        return list(self._tasks)
+
+    def task_names(self) -> list[str]:
+        return [t.name for t in self._tasks]
+
+    # ------------------------------------------------------------------
+    # producing work
+    # ------------------------------------------------------------------
+    def saturated(self, task: MaintenanceTask) -> bool:
+        """True when the task cannot absorb more deferred work.
+
+        Producers that see saturation run their work inline on the
+        foreground path instead (the synchronous fallback that preserves
+        stall semantics under overload).
+        """
+        return task.queue_depth >= task.backpressure_threshold
+
+    def submit(self, task: MaintenanceTask, work: Optional[Callable[[], object]] = None) -> None:
+        """Enqueue one work item (``work`` or the task's own runner).
+
+        The item runs immediately when the task's pacing allows and the
+        task is not already mid-run; otherwise it stays queued until a
+        later ``tick`` (counted as deferred).
+        """
+        item = work if work is not None else task.runner
+        if item is None:
+            raise ValueError(f"task {task.name!r} has no runner and no work was given")
+        task.queue.append(item)
+        stats = self.runtime.stats
+        stats.bump(f"task_{task.name}_submits")
+        stats.record_max(f"task_{task.name}_queue_peak", task.queue_depth)
+        if task.running:
+            # Reentrant submit while the runner is active: the drain loop
+            # in ``_drain_queued`` picks the item up when the run returns.
+            stats.bump(f"task_{task.name}_deferred")
+            return
+        if task.due(self._ops):
+            self._drain_queued(task)
+        else:
+            stats.bump(f"task_{task.name}_deferred")
+
+    def run_inline(
+        self, task: MaintenanceTask, work: Optional[Callable[[], object]] = None
+    ) -> None:
+        """Run one work item synchronously on the foreground path.
+
+        Used by producers as the backpressure fallback: charges stay on the
+        foreground clock regardless of the task's charge mode, and the run
+        is counted as inline rather than scheduled.
+        """
+        item = work if work is not None else task.runner
+        if item is None:
+            raise ValueError(f"task {task.name!r} has no runner and no work was given")
+        self._run_one(task, item, inline=True)
+
+    # ------------------------------------------------------------------
+    # advancing time
+    # ------------------------------------------------------------------
+    def tick(self, ops: int = 1) -> None:
+        """Advance the pacing clock by ``ops`` and run whatever became due."""
+        self._ops += ops
+        for task in self._tasks:
+            if task.running or not task.due(self._ops):
+                continue
+            if task.queue:
+                self._drain_queued(task)
+            elif task.periodic:
+                self._run_one(task, task.runner, inline=False)
+
+    def drain(self, task: Optional[MaintenanceTask] = None) -> None:
+        """Run every queued item now, ignoring pacing (checkpoint/shutdown)."""
+        targets = [task] if task is not None else self._tasks
+        for t in targets:
+            if not t.running:
+                self._drain_queued(t, force=True)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _drain_queued(self, task: MaintenanceTask, force: bool = False) -> None:
+        while task.queue and (force or task.due(self._ops)):
+            item = task.queue.popleft()
+            self._run_one(task, item, inline=False)
+
+    def _run_one(
+        self, task: MaintenanceTask, item: Callable[[], object], inline: bool
+    ) -> None:
+        clock = self.runtime.clock
+        disk = self.runtime.disk
+        cpu_before = clock.cpu_ns
+        bg_before = clock.background_ns
+        disk_before = disk.busy_ns
+        task.running = True
+        try:
+            item()
+        finally:
+            task.running = False
+        task.last_run_ops = self._ops
+        fg_ns = clock.cpu_ns - cpu_before
+        bg_ns = clock.background_ns - bg_before
+        disk_ns = disk.busy_ns - disk_before
+        if task.charge == "background" and not inline and fg_ns > 0:
+            # Re-book foreground CPU the runner charged onto the
+            # background account: this work belongs on a dedicated thread.
+            clock.cpu_ns -= fg_ns
+            clock.background_ns += fg_ns
+            bg_ns += fg_ns
+            fg_ns = 0.0
+        stats = self.runtime.stats
+        stats.bump(f"task_{task.name}_runs")
+        stats.bump(f"task_{task.name}_inline" if inline else f"task_{task.name}_scheduled")
+        if fg_ns:
+            stats.bump(f"task_{task.name}_cpu_ns", fg_ns)
+        if bg_ns:
+            stats.bump(f"task_{task.name}_background_ns", bg_ns)
+        if disk_ns:
+            stats.bump(f"task_{task.name}_disk_ns", disk_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BackgroundScheduler(ops={self._ops}, tasks={self.task_names()})"
+
+
+class EngineRuntime:
+    """The shared substrate of one simulated engine.
+
+    Owns the clock, disk, cost model, thread model, the stats bus, and the
+    background scheduler.  Every component of one system receives (pieces
+    of) the same runtime instead of constructing its own plumbing, so
+    cross-layer mechanisms — pacing, backpressure, utilization accounting —
+    see one consistent world.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        disk: SimDisk | None = None,
+        costs: CostModel | None = None,
+        thread_model: ThreadModel | None = None,
+        stats: StatCounters | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.disk = disk if disk is not None else SimDisk()
+        self.costs = costs if costs is not None else CostModel()
+        self.thread_model = thread_model if thread_model is not None else ThreadModel()
+        self.stats = stats if stats is not None else StatCounters()
+        self.scheduler = BackgroundScheduler(self)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    _METRIC_KEYS = (
+        "runs",
+        "scheduled",
+        "inline",
+        "deferred",
+        "submits",
+        "queue_peak",
+        "cpu_ns",
+        "background_ns",
+        "disk_ns",
+    )
+
+    def task_metrics(
+        self, earlier: dict[str, float] | None = None
+    ) -> dict[str, dict[str, float]]:
+        """Per-task scheduler metrics, optionally as a delta since
+        ``earlier`` (a prior ``stats.snapshot()``)."""
+        counts = self.stats.delta(earlier) if earlier is not None else self.stats.as_dict()
+        out: dict[str, dict[str, float]] = {}
+        for task in self.scheduler.tasks:
+            metrics = {}
+            for key in self._METRIC_KEYS:
+                value = counts.get(f"task_{task.name}_{key}", 0)
+                if value:
+                    metrics[key] = value
+            metrics["queue_depth"] = task.queue_depth
+            out[task.name] = metrics
+        return out
+
+    def background_utilization(self, threads: int = 1) -> float:
+        """Fraction of elapsed simulated time spent on background CPU."""
+        elapsed = self.thread_model.elapsed_ns(
+            self.clock.cpu_ns, self.clock.background_ns, self.disk.busy_ns, threads
+        )
+        if elapsed <= 0:
+            return 0.0
+        return self.clock.background_ns / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineRuntime(cpu={self.clock.cpu_ns:.0f}ns, "
+            f"bg={self.clock.background_ns:.0f}ns, "
+            f"tasks={self.scheduler.task_names()})"
+        )

@@ -24,6 +24,11 @@ class StatCounters:
     def bump(self, name: str, amount: float = 1) -> None:
         self._counts[name] += amount
 
+    def record_max(self, name: str, value: float) -> None:
+        """Keep the running maximum of a gauge (queue depths, peaks)."""
+        if value > self._counts.get(name, 0):
+            self._counts[name] = value
+
     def get(self, name: str) -> float:
         return self._counts.get(name, 0)
 

@@ -15,6 +15,7 @@ from repro.core.config import IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.sim.costs import CostModel
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem
 
@@ -58,19 +59,20 @@ class ArtBPlusSystem(KVSystem):
         indexy_config: IndeXYConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
+        runtime: EngineRuntime | None = None,
         **indexy_kwargs,
     ) -> None:
-        super().__init__(costs, thread_model)
+        super().__init__(costs, thread_model, runtime=runtime)
         # Floor of 24 pages: the paper's 512 MB-of-5 GB transfer pool
         # cannot scale below a handful of frames without thrashing.
         pool = transfer_pool_bytes or max(24 * page_size, memory_limit_bytes // 8)
         config = indexy_config or IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
         tree = DiskBPlusTree(
-            self.disk, pool_bytes=pool, page_size=page_size, clock=self.clock, costs=self.costs
+            pool_bytes=pool, page_size=page_size, runtime=self.runtime
         )
         self.y_tree = tree
-        self.index = IndeXY(x, _DiskBTreeAsY(tree), config, clock=self.clock, **indexy_kwargs)
+        self.index = IndeXY(x, _DiskBTreeAsY(tree), config, runtime=self.runtime, **indexy_kwargs)
 
     def insert(self, key: int, value: bytes) -> None:
         self._op()

@@ -14,6 +14,7 @@ from repro.core.config import IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.lsm.store import LSMConfig, LSMStore
 from repro.sim.costs import CostModel
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem
 
@@ -28,9 +29,10 @@ class ArtLsmSystem(KVSystem):
         indexy_config: IndeXYConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
+        runtime: EngineRuntime | None = None,
         **indexy_kwargs,
     ) -> None:
-        super().__init__(costs, thread_model)
+        super().__init__(costs, thread_model, runtime=runtime)
         # Floors keep the transfer buffers useful at simulation scale:
         # a "few MB out of 5 GB" buffer cannot shrink below a handful of
         # blocks without becoming pure thrash (see DESIGN.md deviations).
@@ -40,8 +42,8 @@ class ArtLsmSystem(KVSystem):
         )
         config = indexy_config or IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
-        y = LSMStore(self.disk, lsm_config, clock=self.clock, costs=self.costs)
-        self.index = IndeXY(x, y, config, clock=self.clock, **indexy_kwargs)
+        y = LSMStore(config=lsm_config, runtime=self.runtime)
+        self.index = IndeXY(x, y, config, runtime=self.runtime, **indexy_kwargs)
 
     def insert(self, key: int, value: bytes) -> None:
         self._op()

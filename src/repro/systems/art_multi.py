@@ -18,6 +18,7 @@ from repro.core.multi_y import KeyRegionRouter, RoutedIndexY
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.lsm.store import LSMConfig, LSMStore
 from repro.sim.costs import CostModel
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.art_bplus import _DiskBTreeAsY
 from repro.systems.base import KVSystem
@@ -34,26 +35,23 @@ class ArtMultiYSystem(KVSystem):
         scan_threshold: float = 0.3,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
+        runtime: EngineRuntime | None = None,
         **indexy_kwargs,
     ) -> None:
-        super().__init__(costs, thread_model)
+        super().__init__(costs, thread_model, runtime=runtime)
         lsm = LSMStore(
-            self.disk,
-            LSMConfig(
+            config=LSMConfig(
                 memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
                 block_cache_bytes=max(64 * 1024, memory_limit_bytes // 16),
             ),
-            clock=self.clock,
-            costs=self.costs,
+            runtime=self.runtime,
         )
         # The scan-friendly backend is provisioned for scans: its pool must
         # cover a hot scan range, or every range read thrashes page frames.
         btree = DiskBPlusTree(
-            self.disk,
             pool_bytes=max(48 * page_size, memory_limit_bytes // 8),
             page_size=page_size,
-            clock=self.clock,
-            costs=self.costs,
+            runtime=self.runtime,
         )
         router = KeyRegionRouter(
             default="lsm",
@@ -61,10 +59,12 @@ class ArtMultiYSystem(KVSystem):
             region_prefix_bytes=region_prefix_bytes,
             scan_threshold=scan_threshold,
         )
-        self.routed = RoutedIndexY({"lsm": lsm, "btree": _DiskBTreeAsY(btree)}, router)
+        self.routed = RoutedIndexY(
+            {"lsm": lsm, "btree": _DiskBTreeAsY(btree)}, router, runtime=self.runtime
+        )
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
         config = IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
-        self.index = IndeXY(x, self.routed, config, clock=self.clock, **indexy_kwargs)
+        self.index = IndeXY(x, self.routed, config, runtime=self.runtime, **indexy_kwargs)
 
     def insert(self, key: int, value: bytes) -> None:
         self._op()

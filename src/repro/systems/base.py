@@ -1,8 +1,10 @@
 """Common system interface and simulated-time accounting.
 
-A ``KVSystem`` owns one simulated clock, one simulated disk, and a thread
-model.  Workloads drive it through integer-keyed operations; benchmarks
-sample :meth:`KVSystem.snapshot` deltas and convert them to throughput in
+A ``KVSystem`` owns one :class:`~repro.sim.runtime.EngineRuntime` — the
+shared clock/disk/costs/stats substrate plus the background scheduler all
+of its components register maintenance tasks on.  Workloads drive it
+through integer-keyed operations; benchmarks sample
+:meth:`KVSystem.snapshot` deltas and convert them to throughput in
 operations per simulated second via :meth:`Snapshot.throughput_ops`.
 """
 
@@ -12,10 +14,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.art.keys import encode_int
-from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
-from repro.sim.disk import SimDisk
-from repro.sim.stats import StatCounters
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 
 
@@ -59,7 +59,7 @@ class Snapshot:
 
 
 class KVSystem:
-    """Base class: shared clock/disk plumbing and the operation contract."""
+    """Base class: one engine runtime and the operation contract."""
 
     name = "abstract"
 
@@ -67,12 +67,18 @@ class KVSystem:
         self,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
-        self.clock = SimClock()
-        self.disk = SimDisk()
-        self.costs = costs or CostModel()
-        self.thread_model = thread_model or ThreadModel()
-        self.stats = StatCounters()
+        self.runtime = (
+            runtime
+            if runtime is not None
+            else EngineRuntime(costs=costs, thread_model=thread_model)
+        )
+        self.clock = self.runtime.clock
+        self.disk = self.runtime.disk
+        self.costs = self.runtime.costs
+        self.thread_model = self.runtime.thread_model
+        self.stats = self.runtime.stats
 
     # -- operations ------------------------------------------------------
     def insert(self, key: int, value: bytes) -> None:

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.sim.costs import CostModel
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem
 
@@ -30,14 +31,13 @@ class BPlusBPlusSystem(KVSystem):
         page_size: int = 4096,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
-        super().__init__(costs, thread_model)
+        super().__init__(costs, thread_model, runtime=runtime)
         self.tree = DiskBPlusTree(
-            self.disk,
             pool_bytes=memory_limit_bytes,
             page_size=page_size,
-            clock=self.clock,
-            costs=self.costs,
+            runtime=self.runtime,
         )
 
     def insert(self, key: int, value: bytes) -> None:

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.lsm.store import LSMConfig, LSMStore
 from repro.sim.costs import CostModel
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem
 
@@ -25,8 +26,9 @@ class RocksDbLikeSystem(KVSystem):
         lsm_config: LSMConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
-        super().__init__(costs, thread_model)
+        super().__init__(costs, thread_model, runtime=runtime)
         config = lsm_config or LSMConfig(
             memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
             block_cache_bytes=max(64 * 1024, memory_limit_bytes // 8),
@@ -34,7 +36,7 @@ class RocksDbLikeSystem(KVSystem):
             # (finer-than-block caching granularity).
             row_cache_bytes=max(8 * 1024, memory_limit_bytes // 50),
         )
-        self.store = LSMStore(self.disk, config, clock=self.clock, costs=self.costs)
+        self.store = LSMStore(config=config, runtime=self.runtime)
 
     def insert(self, key: int, value: bytes) -> None:
         self._op()

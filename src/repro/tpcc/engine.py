@@ -1,10 +1,11 @@
 """The TPC-C engine.
 
-Owns the nine table indexes, the shared simulated clock/disk, and the
-swappable orderline backend.  The eight small tables live in resident ART
-indexes (they fit in memory; the paper keeps them there too).  The
-orderline index — over 10x larger than any other — runs on one of the four
-compared backends and is the component the memory limit squeezes.
+Owns the nine table indexes, one shared engine runtime (clock, disk,
+stats, background scheduler), and the swappable orderline backend.  The
+eight small tables live in resident ART indexes (they fit in memory; the
+paper keeps them there too).  The orderline index — over 10x larger than
+any other — runs on one of the four compared backends and is the
+component the memory limit squeezes.
 """
 
 from __future__ import annotations
@@ -18,10 +19,8 @@ from repro.core.config import IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.lsm.store import LSMConfig, LSMStore
-from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
-from repro.sim.disk import SimDisk
-from repro.sim.stats import StatCounters
+from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.art_bplus import _DiskBTreeAsY
 from repro.systems.base import Snapshot
@@ -71,11 +70,12 @@ class TpccEngine:
         thread_model: ThreadModel | None = None,
     ) -> None:
         self.config = config
-        self.clock = SimClock()
-        self.disk = SimDisk()
-        self.costs = costs or CostModel()
-        self.thread_model = thread_model or ThreadModel()
-        self.stats = StatCounters()
+        self.runtime = EngineRuntime(costs=costs, thread_model=thread_model)
+        self.clock = self.runtime.clock
+        self.disk = self.runtime.disk
+        self.costs = self.runtime.costs
+        self.thread_model = self.runtime.thread_model
+        self.stats = self.runtime.stats
         self.rng = random.Random(config.seed)
 
         # The eight resident tables (each an in-memory index, as in the
@@ -139,41 +139,35 @@ class TpccEngine:
             x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
             if kind == "ART-LSM":
                 y = LSMStore(
-                    self.disk,
-                    LSMConfig(
+                    config=LSMConfig(
                         memtable_bytes=max(32 * 1024, budget // 20),
                         block_cache_bytes=max(16 * 1024, budget // 20),
                     ),
-                    clock=self.clock,
-                    costs=self.costs,
+                    runtime=self.runtime,
                 )
             else:
                 tree = DiskBPlusTree(
-                    self.disk,
                     pool_bytes=max(16 * cfg.page_size, budget // 10),
                     page_size=cfg.page_size,
-                    clock=self.clock,
-                    costs=self.costs,
+                    runtime=self.runtime,
                 )
                 y = _DiskBTreeAsY(tree)
-            return IndeXY(x, y, IndeXYConfig(memory_limit_bytes=budget), clock=self.clock)
+            return IndeXY(
+                x, y, IndeXYConfig(memory_limit_bytes=budget), runtime=self.runtime
+            )
         if kind == "B+-B+":
             return DiskBPlusTree(
-                self.disk,
                 pool_bytes=budget,
                 page_size=cfg.page_size,
-                clock=self.clock,
-                costs=self.costs,
+                runtime=self.runtime,
             )
         return LSMStore(
-            self.disk,
-            LSMConfig(
+            config=LSMConfig(
                 memtable_bytes=max(32 * 1024, budget // 20),
                 block_cache_bytes=max(16 * 1024, budget // 20),
                 row_cache_bytes=max(8 * 1024, budget // 50),
             ),
-            clock=self.clock,
-            costs=self.costs,
+            runtime=self.runtime,
         )
 
     # ------------------------------------------------------------------

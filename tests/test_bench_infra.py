@@ -3,8 +3,6 @@
 import json
 import os
 
-import pytest
-
 from repro.bench.report import format_table, write_result
 from repro.bench.harness import insert_series, preload_into_y, read_throughput
 from repro.bench.__main__ import EXPERIMENTS, main

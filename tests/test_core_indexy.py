@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.art import AdaptiveRadixTree, encode_int
 from repro.btree import BPlusTree
 from repro.core import ARTIndexX, BTreeIndexX, IndeXY, IndeXYConfig

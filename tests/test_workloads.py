@@ -1,6 +1,5 @@
 """Unit tests for workload generators."""
 
-import random
 from collections import Counter
 
 import pytest
