@@ -204,7 +204,7 @@ class _SortedArrayNode(InnerNode):
         raise KeyError(byte)
 
     def children_items(self) -> Iterator[tuple[int, Child]]:
-        yield from zip(self._bytes, self._children)
+        yield from zip(self._bytes, self._children, strict=True)
 
     @property
     def num_children(self) -> int:

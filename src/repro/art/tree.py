@@ -18,7 +18,7 @@ reflects real traversal counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.art.keys import common_prefix_length
 from repro.art.nodes import Child, InnerNode, Leaf, Node4
@@ -69,6 +69,10 @@ class AdaptiveRadixTree:
         self.tracking_enabled = False
         self.sample_every = 1
         self._op_counter = 0
+        #: invoked as ``on_node_replaced(old, new)`` when adaptive resizing
+        #: swaps a node object (grow/shrink); observers keyed by node
+        #: identity (e.g. the check-back auditor) re-key through this.
+        self.on_node_replaced: Optional[Callable[[InnerNode, InnerNode], None]] = None
 
     # ------------------------------------------------------------------
     # cost charging
@@ -171,8 +175,12 @@ class AdaptiveRadixTree:
                 return True
             if isinstance(child, Leaf):
                 if child.key == key:
-                    self.memory_bytes += len(value) - len(child.value)
+                    # Leaf footprint is nonlinear in the value length (short
+                    # values embed in the pointer word), so account via the
+                    # before/after footprint, not the length delta.
+                    before = child.memory_bytes()
                     child.value = value
+                    self.memory_bytes += child.memory_bytes() - before
                     child.dirty = child.dirty or dirty
                     self._finish_insert(path, dirty, new_key=False, visits=visits)
                     return False
@@ -211,6 +219,8 @@ class AdaptiveRadixTree:
         self.memory_bytes += grown.memory_bytes() - node.memory_bytes()
         self._replace_child(parent, parent_byte, node, grown)
         path[path.index(node)] = grown
+        if self.on_node_replaced is not None:
+            self.on_node_replaced(node, grown)
         self._charge(0, self._costs.node_alloc)
         return grown
 
@@ -366,6 +376,8 @@ class AdaptiveRadixTree:
             return node
         smaller = node.shrunk()
         self.memory_bytes += smaller.memory_bytes() - node.memory_bytes()
+        if self.on_node_replaced is not None:
+            self.on_node_replaced(node, smaller)
         return smaller
 
     # ------------------------------------------------------------------

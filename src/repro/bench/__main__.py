@@ -6,9 +6,14 @@ Usage::
     python -m repro.bench fig3_random
     python -m repro.bench fig8 table2 ablation_precleaning
     python -m repro.bench all
+    python -m repro.bench --sanitize fig3_random
 
 Each experiment prints its reproduced table and writes structured JSON
-under ``results/``.
+under ``results/``.  ``--sanitize`` enables the runtime invariant
+sanitizers (``repro.check``) on every system the experiments build; the
+checks charge no simulated time, but wall-clock time grows sharply and
+buffer-pool state shifts (see EXPERIMENTS.md), so it is a debugging
+mode, not a benchmarking mode.
 """
 
 from __future__ import annotations
@@ -40,6 +45,11 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str]) -> int:
+    if "--sanitize" in argv:
+        from repro.check.flags import set_sanitize
+
+        argv = [a for a in argv if a != "--sanitize"]
+        set_sanitize(True)
     if not argv or argv[0] in ("-h", "--help", "list"):
         print(__doc__)
         print("Available experiments:")

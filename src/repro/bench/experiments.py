@@ -307,7 +307,7 @@ def fig7_shifting(
             # continuous keys: point lookups of consecutive keys, whose
             # misses share Index Y blocks (the spatial locality the
             # transfer buffer exploits, Section II-D).
-            def read_unit(rank: int) -> None:
+            def read_unit(rank: int, *, unit=unit, system=system, keys=keys) -> None:
                 for i in range(unit):
                     system.read(keys[(rank + i) % key_space])
 

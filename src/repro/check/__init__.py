@@ -1,0 +1,62 @@
+"""Correctness tooling: runtime invariant sanitizers + the repo lint.
+
+Two halves:
+
+* :mod:`repro.check.sanitizer` — composable runtime validators for every
+  structure in the stack (ART, B+ tree, disk B+ tree + buffer pool, LSM,
+  engine-level coherence), orchestrated by :class:`IndexSanitizer` when
+  an :class:`~repro.core.indexy.IndeXY` is built with
+  ``debug_checks=True`` and by :class:`StoreSanitizer` for the baseline
+  systems.
+* :mod:`repro.check.reprolint` — a repo-specific AST lint enforcing the
+  EngineRuntime architecture (``python -m repro.check``).
+"""
+
+from __future__ import annotations
+
+from repro.check.flags import sanitize_enabled, set_sanitize
+from repro.check.reprolint import RULES, Finding, Rule, lint_paths, lint_source
+from repro.check.sanitizer import (
+    CheckBackAuditor,
+    CheckError,
+    ClockMonotonicityGuard,
+    IndexSanitizer,
+    StoreSanitizer,
+    Violation,
+    check_art,
+    check_art_memory,
+    check_btree,
+    check_buffer_pool,
+    check_disk_btree,
+    check_flush_coherence,
+    check_indexy,
+    check_lsm,
+    check_no_leaked_pins,
+    check_release_watermark,
+)
+
+__all__ = [
+    "CheckBackAuditor",
+    "CheckError",
+    "ClockMonotonicityGuard",
+    "Finding",
+    "IndexSanitizer",
+    "RULES",
+    "Rule",
+    "StoreSanitizer",
+    "Violation",
+    "check_art",
+    "check_art_memory",
+    "check_btree",
+    "check_buffer_pool",
+    "check_disk_btree",
+    "check_flush_coherence",
+    "check_indexy",
+    "check_lsm",
+    "check_no_leaked_pins",
+    "check_release_watermark",
+    "lint_paths",
+    "lint_source",
+    "sanitize_enabled",
+    "set_sanitize",
+]

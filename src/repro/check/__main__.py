@@ -1,0 +1,62 @@
+"""CLI entry point: ``python -m repro.check [paths...]``.
+
+Runs the reprolint AST rules over the given files/directories (default:
+the installed ``repro`` package source) and exits non-zero when any
+finding survives the inline pragmas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.check.reprolint import RULES, lint_paths
+
+
+def _default_target() -> Path:
+    # .../src/repro/check/__main__.py -> .../src/repro
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="repo-specific AST lint for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package source)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.name:<18} {rule.summary}")
+        return 0
+
+    targets = [Path(p) for p in args.paths] if args.paths else [_default_target()]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for target in missing:
+            print(f"error: no such path: {target}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

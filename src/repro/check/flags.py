@@ -1,0 +1,23 @@
+"""Process-wide default for the sanitizer switch.
+
+The bench harness's ``--sanitize`` flag flips this default so every
+system it constructs — including the baselines that take no ``IndeXY``
+config — runs with debug checks enabled, without threading a boolean
+through every constructor in the harness.  Explicit ``debug_checks``
+arguments always win over the default.
+"""
+
+from __future__ import annotations
+
+_sanitize_default = False
+
+
+def set_sanitize(enabled: bool) -> None:
+    """Set the process-wide default for ``debug_checks``."""
+    global _sanitize_default
+    _sanitize_default = enabled
+
+
+def sanitize_enabled() -> bool:
+    """Current process-wide default for ``debug_checks``."""
+    return _sanitize_default

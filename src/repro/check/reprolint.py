@@ -1,0 +1,353 @@
+"""Repo-specific AST lint rules (``reprolint``).
+
+The PR-1 architecture has contracts that generic linters cannot see: one
+:class:`~repro.sim.runtime.EngineRuntime` owns the simulation substrate,
+all disk traffic goes through the cost-charging :class:`SimDisk` API, and
+background maintenance registers with the :class:`BackgroundScheduler`
+instead of running inline.  Simulated runs must also be bit-for-bit
+deterministic, which bans the wall clock and unseeded randomness outright.
+Each rule below mechanically enforces one of those contracts over
+``src/repro``.
+
+Rules:
+
+=======  ==============================================================
+RL001    raw-substrate: ``SimClock`` / ``SimDisk`` / ``StatCounters``
+         may only be constructed inside ``repro/sim`` (components receive
+         them from an ``EngineRuntime``).
+RL002    disk-bypass: no access to ``SimDisk`` internals (``_blobs``,
+         offset cursors, direct ``busy_ns`` writes) outside ``repro/sim``
+         — all I/O must pay the cost model through ``read``/``write``.
+RL003    inline-background: maintenance entry points may only be invoked
+         from their owner modules; everyone else submits to the
+         ``BackgroundScheduler``.  Real threads are banned entirely.
+RL004    wall-clock: no ``time`` / ``datetime`` imports — simulated code
+         reads time only from ``SimClock``.
+RL005    unseeded-random: no module-global ``random`` functions and no
+         seedless ``random.Random()`` — every RNG carries an explicit
+         seed so runs reproduce.
+RL006    mutable-default: no mutable default argument values.
+=======  ==============================================================
+
+A finding on a given line is suppressed by the inline pragma
+``# reprolint: allow[RL00X]`` (comma-separated ids, or ``allow[*]`` for
+all rules); pragmas document *why* at the call site, like ``noqa`` but
+scoped to this linter.  Files under a ``tests`` directory are never
+linted: the contracts bind the library, and tests must be free to build
+corrupted or standalone fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["Finding", "Rule", "RULES", "lint_source", "lint_paths", "module_rel_path"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule (for ``--list-rules``)."""
+
+    rule_id: str
+    name: str
+    summary: str
+
+
+RULES: tuple[Rule, ...] = (
+    Rule("RL001", "raw-substrate", "construct SimClock/SimDisk/StatCounters only in repro/sim"),
+    Rule("RL002", "disk-bypass", "no SimDisk internals access outside repro/sim"),
+    Rule("RL003", "inline-background", "maintenance runs via the BackgroundScheduler"),
+    Rule("RL004", "wall-clock", "no time/datetime imports in simulated code"),
+    Rule("RL005", "unseeded-random", "all randomness comes from an explicitly seeded RNG"),
+    Rule("RL006", "mutable-default", "no mutable default argument values"),
+)
+
+#: substrate classes whose construction is reserved to ``repro/sim``.
+_SUBSTRATE_NAMES = frozenset({"SimClock", "SimDisk", "StatCounters"})
+
+#: ``SimDisk`` internals that bypass cost-model charging when touched.
+_DISK_INTERNALS = frozenset({"_blobs", "_next_offset", "_last_read_end", "_last_write_end"})
+
+#: maintenance entry points and the modules allowed to call them inline
+#: (their owners plus the scheduler-runner modules that register them).
+_MAINTENANCE_OWNERS: dict[str, tuple[str, ...]] = {
+    "note_inserts": ("core/precleaner.py",),
+    "run_pass": ("core/precleaner.py", "core/indexy.py"),
+    "release_cycle": ("core/indexy.py",),
+    "_maybe_compact": ("lsm/store.py",),
+    "_proactive_writeback_pass": ("diskbtree/bufferpool.py",),
+}
+
+#: modules whose import means the code can observe the wall clock.
+_WALL_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+#: ``random``-module functions that use the process-global, OS-seeded RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: constructors whose results are mutable (beyond the literal displays).
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "Counter", "defaultdict", "deque", "OrderedDict"}
+)
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*allow\[([^\]]*)\]")
+
+
+def module_rel_path(path: str | Path) -> str:
+    """Path of ``path`` relative to the ``repro`` package root.
+
+    Files outside the package (lint fixtures, ad-hoc scripts) fall back to
+    their bare filename, so the module-scoped allowances never match them.
+    """
+    posix = Path(path).as_posix()
+    marker = "/repro/"
+    if posix.startswith("repro/"):
+        return posix[len("repro/") :]
+    idx = posix.rfind(marker)
+    if idx >= 0:
+        return posix[idx + len(marker) :]
+    return Path(posix).name
+
+
+def _in_sim(rel: str) -> bool:
+    return rel.startswith("sim/")
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel: str) -> None:
+        self.rel = rel
+        self.findings: list[tuple[int, int, str, str]] = []
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            (getattr(node, "lineno", 1), getattr(node, "col_offset", 0), rule, message)
+        )
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _callee_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    # -- RL001 / RL003 / RL005: calls ----------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._callee_name(node.func)
+        if name in _SUBSTRATE_NAMES and not _in_sim(self.rel):
+            self._add(
+                node,
+                "RL001",
+                f"direct {name}() construction outside repro/sim; "
+                "take the instance from an EngineRuntime",
+            )
+        if name in _MAINTENANCE_OWNERS and self.rel not in _MAINTENANCE_OWNERS[name]:
+            self._add(
+                node,
+                "RL003",
+                f"inline call to maintenance entry point {name}(); "
+                "submit the work to the BackgroundScheduler instead",
+            )
+        if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+            base = node.func.value.id
+            if base == "random":
+                if node.func.attr in _GLOBAL_RANDOM_FUNCS:
+                    self._add(
+                        node,
+                        "RL005",
+                        f"random.{node.func.attr}() uses the process-global RNG; "
+                        "use an explicitly seeded random.Random(seed)",
+                    )
+                elif node.func.attr == "Random" and not node.args and not node.keywords:
+                    self._add(
+                        node,
+                        "RL005",
+                        "random.Random() without a seed is OS-seeded; pass an explicit seed",
+                    )
+            elif base == "threading" and node.func.attr == "Thread":
+                self._add(
+                    node,
+                    "RL003",
+                    "real threads are banned; register a task on the BackgroundScheduler",
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id == "Random":
+            if not node.args and not node.keywords:
+                self._add(
+                    node,
+                    "RL005",
+                    "Random() without a seed is OS-seeded; pass an explicit seed",
+                )
+        self.generic_visit(node)
+
+    # -- RL002: disk internals -----------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _DISK_INTERNALS and not _in_sim(self.rel):
+            self._add(
+                node,
+                "RL002",
+                f"access to SimDisk internal '{node.attr}' bypasses cost-model "
+                "charging; use disk.read()/disk.write()",
+            )
+        self.generic_visit(node)
+
+    def _check_busy_ns_write(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Attribute) and target.attr == "busy_ns" and not _in_sim(self.rel):
+            self._add(
+                target,
+                "RL002",
+                "writing busy_ns directly forges disk time; only SimDisk may charge it",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_busy_ns_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_busy_ns_write(node.target)
+        self.generic_visit(node)
+
+    # -- RL003 / RL004: imports ----------------------------------------
+    def _check_import(self, node: ast.Import | ast.ImportFrom, module: str) -> None:
+        root = module.split(".")[0]
+        if root in _WALL_CLOCK_MODULES:
+            self._add(
+                node,
+                "RL004",
+                f"import of '{root}' reads the wall clock; simulated code uses SimClock",
+            )
+        elif root == "threading":
+            self._add(
+                node,
+                "RL003",
+                "import of 'threading': background work registers with the "
+                "BackgroundScheduler, it does not spawn threads",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_import(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            self._check_import(node, node.module)
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RANDOM_FUNCS:
+                        self._add(
+                            node,
+                            "RL005",
+                            f"'from random import {alias.name}' pulls in the "
+                            "process-global RNG; use random.Random(seed)",
+                        )
+
+    # -- RL006: mutable defaults ---------------------------------------
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults: list[ast.expr] = list(node.args.defaults)
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp),
+            )
+            if isinstance(default, ast.Call):
+                callee = self._callee_name(default.func)
+                mutable = callee in _MUTABLE_CONSTRUCTORS
+            if mutable:
+                self._add(
+                    default,
+                    "RL006",
+                    f"mutable default argument in {node.name}(); default to None "
+                    "and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def _allowed_rules(line: str) -> frozenset[str] | None:
+    """Rule ids the line's pragma allows, or None when there is no pragma."""
+    match = _PRAGMA_RE.search(line)
+    if match is None:
+        return None
+    return frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+
+
+def lint_source(source: str, path: str | Path) -> list[Finding]:
+    """Lint one module's source text; returns findings sorted by location."""
+    rel = module_rel_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(str(path), exc.lineno or 1, exc.offset or 0, "RL000", f"syntax error: {exc.msg}")
+        ]
+    visitor = _Visitor(rel)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    for line, col, rule, message in sorted(visitor.findings):
+        text = lines[line - 1] if 0 < line <= len(lines) else ""
+        allowed = _allowed_rules(text)
+        if allowed is not None and (rule in allowed or "*" in allowed):
+            continue
+        findings.append(Finding(str(path), line, col, rule, message))
+    return findings
+
+
+def _iter_py_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "tests" in sub.parts:
+                    continue
+                yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (test directories excluded)."""
+    findings: list[Finding] = []
+    for path in _iter_py_files(paths):
+        findings.extend(lint_source(path.read_text(encoding="utf-8"), path))
+    return findings

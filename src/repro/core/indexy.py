@@ -49,6 +49,8 @@ class IndeXY:
         load_on_miss: bool = True,
         clock: SimClock | None = None,
         runtime: EngineRuntime | None = None,
+        debug_checks: bool = False,
+        debug_check_interval: int = 256,
     ) -> None:
         self.x = index_x
         self.y = index_y
@@ -99,6 +101,23 @@ class IndeXY:
                 periodic=True,
             )
 
+        #: invariant sanitizers (``debug_checks=True``): structural sweeps
+        #: every ``debug_check_interval`` ops plus checks at the release
+        #: and flush hook points; any violation raises
+        #: :class:`~repro.check.sanitizer.CheckError`.  Imported lazily so
+        #: production runs never load the check package.
+        self.sanitizer = None
+        if debug_checks:
+            from repro.check.sanitizer import CheckBackAuditor, IndexSanitizer
+
+            self.sanitizer = IndexSanitizer(self, interval=debug_check_interval)
+            self.precleaner.auditor = CheckBackAuditor()
+            tree = getattr(index_x, "tree", None)
+            if tree is not None and hasattr(tree, "on_node_replaced"):
+                # Adaptive resizing replaces ART node objects; the auditor
+                # tracks C bits by identity and must follow the swap.
+                tree.on_node_replaced = self.precleaner.auditor.note_replaced
+
     # ------------------------------------------------------------------
     # key-value operations
     # ------------------------------------------------------------------
@@ -111,8 +130,17 @@ class IndeXY:
         # watermark, so an index that fits in memory never pays for it.
         if self.budget.tracking_started:
             self.runtime.scheduler.tick(1)
+        if self.sanitizer is not None:
+            self.sanitizer.note_insert(key)
+            self.sanitizer.after_op()
 
     def get(self, key: bytes) -> Optional[bytes]:
+        value = self._get(key)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
+        return value
+
+    def _get(self, key: bytes) -> Optional[bytes]:
         value = self.x.search(key)
         if value is not None:
             self.stats.bump("x_hits")
@@ -140,6 +168,9 @@ class IndeXY:
         # resurrect a deleted key via get/scan.
         self.y.delete(key)
         self.stats.bump("deletes")
+        if self.sanitizer is not None:
+            self.sanitizer.note_delete(key)
+            self.sanitizer.after_op()
         return present_x
 
     def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
@@ -260,6 +291,8 @@ class IndeXY:
         self.x.reset_access_counts()
         self.stats.bump("release_cycles")
         self.stats.bump("released_bytes", released)
+        if self.sanitizer is not None:
+            self.sanitizer.after_release(released)
         return released
 
     def _timed_writeback(self, batch: list[tuple[bytes, bytes]]) -> float:
@@ -300,6 +333,8 @@ class IndeXY:
             self.y.put_batch(batch)
             self._y_populated = True
         self.x.clear_dirty(root)
+        if self.sanitizer is not None:
+            self.sanitizer.after_flush()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -112,7 +112,7 @@ class RoutedIndexY:
             raise ValueError(f"router references unknown backends: {sorted(missing)}")
         self.backends = backends
         self.router = router
-        self.stats = runtime.stats if runtime is not None else StatCounters()
+        self.stats = runtime.stats if runtime is not None else StatCounters()  # component-local counters  # reprolint: allow[RL001]
         #: which backends hold data for each region — lets scans skip
         #: backends with nothing in range (and migrations update it).
         self._holders: defaultdict[bytes, set[str]] = defaultdict(set)

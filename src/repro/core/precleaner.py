@@ -52,7 +52,7 @@ class PreCleaner:
         self.index_x = index_x
         self.index_y = index_y
         self.config = config
-        self.stats = stats if stats is not None else StatCounters()
+        self.stats = stats if stats is not None else StatCounters()  # component-local counters  # reprolint: allow[RL001]
         self.enabled = enabled
         #: ablation switch: without check-back, the scan cleans the first
         #: dirty node it meets, insert-hot or not.
@@ -60,6 +60,21 @@ class PreCleaner:
         self._insert_timer = 0
         self._cursor = 0
         self._depth = config.partition_depth
+        #: optional :class:`~repro.check.sanitizer.CheckBackAuditor`-shaped
+        #: observer of every C-bit transition (set by IndeXY when
+        #: ``debug_checks`` is enabled; duck-typed to keep core free of a
+        #: check dependency).
+        self.auditor = None
+
+    def _set_candidate(self, node) -> None:
+        node.clean_candidate = True
+        if self.auditor is not None:
+            self.auditor.note_set(node)
+
+    def _clear_candidate(self, node) -> None:
+        node.clean_candidate = False
+        if self.auditor is not None:
+            self.auditor.note_clear(node)
 
     def note_inserts(self, count: int = 1) -> None:
         """Advance the insert-count timer; run one pass when it expires."""
@@ -85,6 +100,13 @@ class PreCleaner:
             deeper = self.index_x.partition(self._depth + 1)
             if len(deeper) == len(refs):
                 break
+            # Hygiene: nodes leaving the region list keep their C bit
+            # forever otherwise — clear it so later checks (and any future
+            # depth choice) see only bits the current list's scans set.
+            kept = {id(ref.node) for ref in deeper}
+            for ref in refs:
+                if id(ref.node) not in kept and ref.node.clean_candidate:
+                    self._clear_candidate(ref.node)
             self._depth += 1
             refs = deeper
         # The depth sticks across passes so the check-back C bits survive
@@ -129,7 +151,7 @@ class PreCleaner:
             if node.activity and not node.clean_candidate:
                 # First sighting: schedule a check-back.
                 node.activity = False
-                node.clean_candidate = True
+                self._set_candidate(node)
                 self.stats.bump("preclean_candidates")
             elif node.activity and node.clean_candidate:
                 # Re-dirtied since last pass: intensive inserts, skip.
@@ -173,6 +195,6 @@ class PreCleaner:
             self.stats.bump("preclean_writebacks")
             self.stats.bump("preclean_keys_written", len(batch))
         self.index_x.clear_dirty(ref)
-        ref.node.clean_candidate = False
+        self._clear_candidate(ref.node)
         self.stats.bump("preclean_cleanings")
         return len(batch)

@@ -82,7 +82,7 @@ class BufferPool:
         self.config = config
         self.clock = clock
         self.costs = costs or CostModel()
-        self.stats = StatCounters()
+        self.stats = StatCounters()  # component-local counters  # reprolint: allow[RL001]
         self._frames: dict[int, _Frame] = {}
         self._clock_order: list[int] = []
         self._hand = 0

@@ -28,7 +28,9 @@ class LeafPage:
 
     def payload_bytes(self) -> int:
         return PAGE_HEADER_BYTES + sum(
-            6 + len(k) + len(v) for k, v in zip(self.keys, self.values)
+            # strict=False: the sanitizers size corrupted fixtures too, so a
+        # key/value length mismatch must surface as a finding, not a crash.
+        6 + len(k) + len(v) for k, v in zip(self.keys, self.values, strict=False)
         )
 
     @property
@@ -73,7 +75,7 @@ def encode_page(page: Page) -> bytes:
         next_leaf = _NO_PAGE if page.next_leaf is None else page.next_leaf
         parts.append(next_leaf.to_bytes(8, "big"))
         parts.append(len(page.keys).to_bytes(4, "big"))
-        for key, value in zip(page.keys, page.values):
+        for key, value in zip(page.keys, page.values, strict=True):
             parts.append(len(key).to_bytes(2, "big"))
             parts.append(len(value).to_bytes(4, "big"))
             parts.append(key)

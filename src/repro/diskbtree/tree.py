@@ -52,7 +52,7 @@ class DiskBPlusTree:
             costs=self.costs,
             runtime=runtime,
         )
-        self.stats = StatCounters()
+        self.stats = StatCounters()  # component-local counters  # reprolint: allow[RL001]
         root = LeafPage()
         self._root_pid = self.pool.new_page(root)
         self.key_count = 0
@@ -135,7 +135,7 @@ class DiskBPlusTree:
         while pid is not None:
             page = self.pool.get_page(pid)
             assert isinstance(page, LeafPage)
-            yield from zip(page.keys, page.values)
+            yield from zip(page.keys, page.values, strict=True)
             pid = page.next_leaf
 
     def _leftmost_leaf(self) -> int:

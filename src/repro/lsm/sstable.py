@@ -120,7 +120,7 @@ class SSTable:
         first_keys: list[bytes] = []
         cursor = base
         cpu_ns = 0.0
-        for block, blob in zip(blocks, encoded):
+        for block, blob in zip(blocks, encoded, strict=True):
             disk.write(cursor, blob)
             offsets.append(cursor)
             first_keys.append(block[0][0])

@@ -77,7 +77,7 @@ class LSMStore:
         self.config = config or LSMConfig()
         self.clock = clock
         self.costs = costs or CostModel()
-        self.stats = StatCounters()
+        self.stats = StatCounters()  # component-local counters  # reprolint: allow[RL001]
         self._scheduler = runtime.scheduler if runtime is not None else None
         self._compaction_task = None
         if self._scheduler is not None:

@@ -31,6 +31,8 @@ for work that a real deployment would move onto a dedicated thread.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
 from typing import Callable, Optional
 
 from repro.sim.clock import SimClock
@@ -215,6 +217,7 @@ class BackgroundScheduler:
             if task.queue:
                 self._drain_queued(task)
             elif task.periodic:
+                assert task.runner is not None  # enforced at registration
                 self._run_one(task, task.runner, inline=False)
 
     def drain(self, task: Optional[MaintenanceTask] = None) -> None:
@@ -295,6 +298,30 @@ class EngineRuntime:
         self.stats = stats if stats is not None else StatCounters()
         self.scheduler = BackgroundScheduler(self)
 
+    @contextmanager
+    def observation(self) -> Iterator[None]:
+        """Walk cost-charged paths without perturbing simulated results.
+
+        Observers — the ``repro.check`` sanitizers, debug probes — need to
+        call real read paths (``get``, page walks) whose cost charging
+        would otherwise leak into the measurement.  On exit every
+        simulated-time account (foreground/background CPU, disk busy time)
+        and the stats bus are restored to their entry values.  Cache
+        *state* touched by the probes (block cache, buffer pool frames) is
+        not rolled back; see EXPERIMENTS.md for the residual effect.
+        """
+        cpu_ns = self.clock.cpu_ns
+        background_ns = self.clock.background_ns
+        disk_busy_ns = self.disk.busy_ns
+        counters = self.stats.snapshot()
+        try:
+            yield
+        finally:
+            self.clock.cpu_ns = cpu_ns
+            self.clock.background_ns = background_ns
+            self.disk.busy_ns = disk_busy_ns
+            self.stats.restore(counters)
+
     # ------------------------------------------------------------------
     # instrumentation
     # ------------------------------------------------------------------
@@ -318,7 +345,7 @@ class EngineRuntime:
         counts = self.stats.delta(earlier) if earlier is not None else self.stats.as_dict()
         out: dict[str, dict[str, float]] = {}
         for task in self.scheduler.tasks:
-            metrics = {}
+            metrics: dict[str, float] = {}
             for key in self._METRIC_KEYS:
                 value = counts.get(f"task_{task.name}_{key}", 0)
                 if value:

@@ -6,7 +6,6 @@ misses), and anything a benchmark wants to report per time slice.
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Iterator
 
 
@@ -19,10 +18,10 @@ class StatCounters:
     """
 
     def __init__(self) -> None:
-        self._counts: Counter[str] = Counter()
+        self._counts: dict[str, float] = {}
 
     def bump(self, name: str, amount: float = 1) -> None:
-        self._counts[name] += amount
+        self._counts[name] = self._counts.get(name, 0) + amount
 
     def record_max(self, name: str, value: float) -> None:
         """Keep the running maximum of a gauge (queue depths, peaks)."""
@@ -43,7 +42,7 @@ class StatCounters:
 
     def delta(self, earlier: dict[str, float]) -> dict[str, float]:
         """Counters accumulated since ``earlier`` (a prior ``snapshot()``)."""
-        out = {}
+        out: dict[str, float] = {}
         for name, value in self._counts.items():
             diff = value - earlier.get(name, 0)
             if diff:
@@ -51,10 +50,15 @@ class StatCounters:
         return out
 
     def merge(self, other: "StatCounters") -> None:
-        self._counts.update(other._counts)
+        for name, value in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + value
 
     def reset(self) -> None:
         self._counts.clear()
+
+    def restore(self, snapshot: dict[str, float]) -> None:
+        """Reset the counters to a prior ``snapshot()`` (observer rollback)."""
+        self._counts = dict(snapshot)
 
     def as_dict(self) -> dict[str, float]:
         return dict(self._counts)

@@ -45,7 +45,7 @@ class ThreadModel:
             return 1.0
         doublings = 0
         speedup = 1.0
-        remaining = threads
+        remaining = float(threads)
         while remaining > 1:
             speedup *= 2 * self.cpu_scalability
             remaining /= 2
@@ -57,7 +57,7 @@ class ThreadModel:
 
     def disk_speedup(self, threads: int) -> float:
         """Effective overlap factor for disk requests."""
-        depth = min(threads, self.disk_queue_depth)
+        depth = float(min(threads, self.disk_queue_depth))
         if depth <= 1:
             return 1.0
         gain = 1.0

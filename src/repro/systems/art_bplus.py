@@ -72,6 +72,9 @@ class ArtBPlusSystem(KVSystem):
             pool_bytes=pool, page_size=page_size, runtime=self.runtime
         )
         self.y_tree = tree
+        from repro.check.flags import sanitize_enabled
+
+        indexy_kwargs.setdefault("debug_checks", sanitize_enabled())
         self.index = IndeXY(x, _DiskBTreeAsY(tree), config, runtime=self.runtime, **indexy_kwargs)
 
     def insert(self, key: int, value: bytes) -> None:
@@ -81,6 +84,10 @@ class ArtBPlusSystem(KVSystem):
     def read(self, key: int) -> Optional[bytes]:
         self._op()
         return self.index.get(self.encode_key(key))
+
+    def delete(self, key: int) -> bool:
+        self._op()
+        return self.index.delete(self.encode_key(key))
 
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()

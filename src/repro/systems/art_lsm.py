@@ -43,6 +43,9 @@ class ArtLsmSystem(KVSystem):
         config = indexy_config or IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
         y = LSMStore(config=lsm_config, runtime=self.runtime)
+        from repro.check.flags import sanitize_enabled
+
+        indexy_kwargs.setdefault("debug_checks", sanitize_enabled())
         self.index = IndeXY(x, y, config, runtime=self.runtime, **indexy_kwargs)
 
     def insert(self, key: int, value: bytes) -> None:
@@ -52,6 +55,10 @@ class ArtLsmSystem(KVSystem):
     def read(self, key: int) -> Optional[bytes]:
         self._op()
         return self.index.get(self.encode_key(key))
+
+    def delete(self, key: int) -> bool:
+        self._op()
+        return self.index.delete(self.encode_key(key))
 
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()

@@ -64,6 +64,9 @@ class ArtMultiYSystem(KVSystem):
         )
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
         config = IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
+        from repro.check.flags import sanitize_enabled
+
+        indexy_kwargs.setdefault("debug_checks", sanitize_enabled())
         self.index = IndeXY(x, self.routed, config, runtime=self.runtime, **indexy_kwargs)
 
     def insert(self, key: int, value: bytes) -> None:
@@ -73,6 +76,10 @@ class ArtMultiYSystem(KVSystem):
     def read(self, key: int) -> Optional[bytes]:
         self._op()
         return self.index.get(self.encode_key(key))
+
+    def delete(self, key: int) -> bool:
+        self._op()
+        return self.index.delete(self.encode_key(key))
 
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()

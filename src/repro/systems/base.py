@@ -91,6 +91,10 @@ class KVSystem:
         """Distinct from insert only in intent; systems may share the path."""
         self.insert(key, value)
 
+    def delete(self, key: int) -> bool:
+        """Remove ``key`` everywhere it lives; True if it was present."""
+        raise NotImplementedError
+
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         raise NotImplementedError
 

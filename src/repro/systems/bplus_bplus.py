@@ -32,6 +32,7 @@ class BPlusBPlusSystem(KVSystem):
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
+        debug_checks: bool | None = None,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
         self.tree = DiskBPlusTree(
@@ -39,18 +40,54 @@ class BPlusBPlusSystem(KVSystem):
             page_size=page_size,
             runtime=self.runtime,
         )
+        self.sanitizer = None
+        if debug_checks is None:
+            from repro.check.flags import sanitize_enabled
+
+            debug_checks = sanitize_enabled()
+        if debug_checks:
+            from repro.check.sanitizer import (
+                StoreSanitizer,
+                check_buffer_pool,
+                check_disk_btree,
+                check_no_leaked_pins,
+            )
+
+            def checker():
+                return (
+                    check_disk_btree(self.tree)
+                    + check_no_leaked_pins(self.tree.pool)
+                    + check_buffer_pool(self.tree.pool)
+                )
+
+            self.sanitizer = StoreSanitizer(self.runtime, checker)
+
+    def _sanitize(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
 
     def insert(self, key: int, value: bytes) -> None:
         self._op()
         self.tree.put(self.encode_key(key), value)
+        self._sanitize()
 
     def read(self, key: int) -> Optional[bytes]:
         self._op()
-        return self.tree.get(self.encode_key(key))
+        value = self.tree.get(self.encode_key(key))
+        self._sanitize()
+        return value
+
+    def delete(self, key: int) -> bool:
+        self._op()
+        present = self.tree.delete(self.encode_key(key))
+        self._sanitize()
+        return present
 
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()
-        return self.tree.scan(self.encode_key(key), count)
+        out = self.tree.scan(self.encode_key(key), count)
+        self._sanitize()
+        return out
 
     def flush(self) -> None:
         self.tree.flush_all()

@@ -27,6 +27,7 @@ class RocksDbLikeSystem(KVSystem):
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
+        debug_checks: bool | None = None,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
         config = lsm_config or LSMConfig(
@@ -37,18 +38,43 @@ class RocksDbLikeSystem(KVSystem):
             row_cache_bytes=max(8 * 1024, memory_limit_bytes // 50),
         )
         self.store = LSMStore(config=config, runtime=self.runtime)
+        self.sanitizer = None
+        if debug_checks is None:
+            from repro.check.flags import sanitize_enabled
+
+            debug_checks = sanitize_enabled()
+        if debug_checks:
+            from repro.check.sanitizer import StoreSanitizer, check_lsm
+
+            self.sanitizer = StoreSanitizer(self.runtime, lambda: check_lsm(self.store))
+
+    def _sanitize(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
 
     def insert(self, key: int, value: bytes) -> None:
         self._op()
         self.store.put(self.encode_key(key), value)
+        self._sanitize()
 
     def read(self, key: int) -> Optional[bytes]:
         self._op()
-        return self.store.get(self.encode_key(key))
+        value = self.store.get(self.encode_key(key))
+        self._sanitize()
+        return value
+
+    def delete(self, key: int) -> bool:
+        self._op()
+        present = self.store.get(self.encode_key(key)) is not None
+        self.store.delete(self.encode_key(key))
+        self._sanitize()
+        return present
 
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()
-        return self.store.scan(self.encode_key(key), count)
+        out = self.store.scan(self.encode_key(key), count)
+        self._sanitize()
+        return out
 
     def flush(self) -> None:
         self.store.flush()

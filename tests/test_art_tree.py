@@ -206,10 +206,15 @@ def test_memory_accounting_after_deletes(tree):
 
 
 def test_memory_tracks_value_overwrite_size(tree):
+    # Values up to 8 bytes embed in the pointer word (footprint 0); longer
+    # ones pay the leaf overhead plus their length.  Overwrites across the
+    # embed threshold must keep the incremental account exact.
     tree.insert(ikey(1), b"small")
-    before = tree.memory_bytes
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)
     tree.insert(ikey(1), b"a-much-longer-value")
-    assert tree.memory_bytes == before + len(b"a-much-longer-value") - len(b"small")
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)
+    tree.insert(ikey(1), b"tiny")  # back under the embed threshold
+    assert tree.memory_bytes == tree.subtree_memory(tree.root)
 
 
 def test_art_is_more_compact_than_pages():

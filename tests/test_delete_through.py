@@ -1,0 +1,113 @@
+"""Delete-through regression tests (no-resurrection guarantee).
+
+A delete must stay deleted across every background path that moves data
+between Index X and Index Y: pre-cleaning, watermark release cycles, and
+full flushes.  Historically this class of bug shows up when a stale copy
+of a deleted key survives in the Y structure (or a cache/memtable layer)
+and "resurrects" once the X copy is evicted.  Each of the four Table-I
+systems gets the same workload: load, delete a slice, force every
+maintenance path, then verify reads and scans never see a deleted key.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.systems.factory import build_system
+
+N_KEYS = 600
+DELETE_EVERY = 7  # delete every 7th key
+MEMORY_LIMIT = 64 * 1024  # small enough that release/flush really move data
+
+
+def value_for(key: int) -> bytes:
+    return b"v%08d" % key
+
+
+def deleted_keys() -> list[int]:
+    return [k for k in range(N_KEYS) if k % DELETE_EVERY == 0]
+
+
+def kept_keys() -> list[int]:
+    return [k for k in range(N_KEYS) if k % DELETE_EVERY != 0]
+
+
+def build_loaded(name: str):
+    system = build_system(name, memory_limit_bytes=MEMORY_LIMIT, debug_checks=True)
+    order = list(range(N_KEYS))
+    random.Random(1234).shuffle(order)
+    for key in order:
+        system.insert(key, value_for(key))
+    return system
+
+
+def force_maintenance(system) -> None:
+    """Drive every background path the system has, inline."""
+    index = getattr(system, "index", None)
+    if index is not None:
+        # Pre-clean everything that is eligible, then release repeatedly
+        # so deleted-adjacent regions actually migrate X -> Y.
+        while index.precleaner.run_pass():
+            pass
+        for _ in range(4):
+            index.release_cycle()
+    system.flush()
+
+
+def assert_no_resurrection(system) -> None:
+    for key in deleted_keys():
+        assert system.read(key) is None, f"deleted key {key} resurrected on read"
+    for key in kept_keys():
+        assert system.read(key) == value_for(key), f"kept key {key} lost"
+    # Scans across delete boundaries must skip deleted keys too.
+    for start in (0, DELETE_EVERY, N_KEYS // 2, N_KEYS - 20):
+        got = system.scan(start, 15)
+        got_keys = [int.from_bytes(k, "big") for k, _ in got]
+        for key in got_keys:
+            assert key % DELETE_EVERY != 0, f"deleted key {key} resurrected in scan"
+
+
+@pytest.mark.parametrize("name", ["ART-B+", "ART-LSM", "B+-B+", "RocksDB"])
+def test_delete_survives_background_maintenance(name):
+    system = build_loaded(name)
+    for key in deleted_keys():
+        assert system.delete(key) is True
+    force_maintenance(system)
+    assert_no_resurrection(system)
+
+
+@pytest.mark.parametrize("name", ["ART-B+", "ART-LSM", "B+-B+", "RocksDB"])
+def test_delete_after_data_migrated_to_y(name):
+    # Deletes issued AFTER the key has already moved to Index Y (the
+    # hard case: the delete must reach Y, not just drop the X copy).
+    system = build_loaded(name)
+    force_maintenance(system)
+    for key in deleted_keys():
+        assert system.delete(key) is True
+    force_maintenance(system)
+    assert_no_resurrection(system)
+
+
+@pytest.mark.parametrize("name", ["ART-B+", "ART-LSM", "B+-B+", "RocksDB"])
+def test_delete_then_reinsert_is_visible(name):
+    # Re-inserting a deleted key must win over the tombstone/removal.
+    system = build_loaded(name)
+    victims = deleted_keys()[:20]
+    for key in victims:
+        assert system.delete(key) is True
+    force_maintenance(system)
+    for key in victims:
+        system.insert(key, b"reborn")
+    force_maintenance(system)
+    for key in victims:
+        assert system.read(key) == b"reborn"
+
+
+def test_double_delete_reports_absent():
+    system = build_loaded("ART-B+")
+    assert system.delete(3) is True
+    assert system.delete(3) is False
+    force_maintenance(system)
+    assert system.delete(3) is False
