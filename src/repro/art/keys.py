@@ -37,9 +37,17 @@ def encode_str(value: str) -> bytes:
 
 
 def common_prefix_length(a: bytes, b: bytes) -> int:
-    """Length of the longest common prefix of two byte strings."""
+    """Length of the longest common prefix of two byte strings.
+
+    Runs on C-level ``bytes`` primitives rather than a per-byte Python
+    loop: equality handles the (common) full-match case in one comparison,
+    and a mismatch is located by XOR-ing the prefixes as big-endian
+    integers — the highest differing bit marks the first differing byte.
+    """
     limit = min(len(a), len(b))
-    for i in range(limit):
-        if a[i] != b[i]:
-            return i
-    return limit
+    head_a = a[:limit]
+    head_b = b[:limit]
+    if head_a == head_b:
+        return limit
+    diff = int.from_bytes(head_a, "big") ^ int.from_bytes(head_b, "big")
+    return limit - (diff.bit_length() + 7) // 8

@@ -25,6 +25,7 @@ hitting the limit (Figure 3 discussion).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterator, Optional, Union
 
 #: Header bytes shared by every inner node in the C layout
@@ -74,7 +75,15 @@ class Leaf:
 
 
 class InnerNode:
-    """Common behaviour of the four adaptive node layouts."""
+    """Common behaviour of the four adaptive node layouts.
+
+    ``children_values`` exists for accumulation walks (memory sums, flag
+    sweeps) that do not care about key order: it skips the per-child
+    ``(byte, child)`` tuple of ``children_items`` and, on the indexed
+    layouts, iterates raw slots instead of 256 byte probes.  Callers must
+    treat the returned list as read-only — the sorted layouts return
+    their internal child list.
+    """
 
     __slots__ = (
         "prefix",
@@ -160,67 +169,90 @@ Child = Union[InnerNode, Leaf]
 
 
 class _SortedArrayNode(InnerNode):
-    """Shared implementation of Node4 and Node16: sorted parallel arrays."""
+    """Shared implementation of Node4 and Node16: sorted parallel arrays.
+
+    The key array is a ``bytearray`` so child lookup is one C-level
+    ``find`` — the Python analogue of the SIMD byte scan in the C
+    implementation of Leis et al.
+    """
 
     __slots__ = ("_bytes", "_children")
 
     def __init__(self, prefix: bytes = b"") -> None:
-        super().__init__(prefix)
-        self._bytes: list[int] = []
+        # Flattened (no super() chain): leaf splits allocate one of these
+        # per structural change, so construction is hot.
+        self.prefix = prefix
+        self.dirty = False
+        self.activity = False
+        self.clean_candidate = False
+        self.access_count = 0
+        self.insert_count = 0
+        self.leaf_count = 0
+        self._bytes = bytearray()
         self._children: list[Child] = []
 
     def child(self, byte: int) -> Optional[Child]:
-        # Linear scan: these nodes hold at most 16 entries, matching the
-        # SIMD-scanned layout of the C implementation.
-        for i, b in enumerate(self._bytes):
-            if b == byte:
-                return self._children[i]
-            if b > byte:
-                return None
-        return None
+        i = self._bytes.find(byte)
+        return self._children[i] if i >= 0 else None
 
     def set_child(self, byte: int, child: Child) -> None:
-        for i, b in enumerate(self._bytes):
-            if b == byte:
-                self._children[i] = child
-                return
-            if b > byte:
-                if self.is_full():
-                    raise RuntimeError("node full; grow before inserting")
-                self._bytes.insert(i, byte)
-                self._children.insert(i, child)
-                return
-        if self.is_full():
+        keys = self._bytes
+        i = keys.find(byte)
+        if i >= 0:
+            self._children[i] = child
+            return
+        if len(keys) >= self.CAPACITY:
             raise RuntimeError("node full; grow before inserting")
-        self._bytes.append(byte)
-        self._children.append(child)
+        i = bisect_right(keys, byte)
+        keys.insert(i, byte)
+        self._children.insert(i, child)
 
     def remove_child(self, byte: int) -> None:
-        for i, b in enumerate(self._bytes):
-            if b == byte:
-                del self._bytes[i]
-                del self._children[i]
-                return
-        raise KeyError(byte)
+        i = self._bytes.find(byte)
+        if i < 0:
+            raise KeyError(byte)
+        del self._bytes[i]
+        del self._children[i]
+
+    def is_full(self) -> bool:
+        return len(self._bytes) >= self.CAPACITY
+
+    def init_two_children(self, byte_a: int, child_a: Child, byte_b: int, child_b: Child) -> None:
+        """Populate an empty node with two children in one shot (leaf splits)."""
+        if byte_a < byte_b:
+            self._bytes = bytearray((byte_a, byte_b))
+            self._children = [child_a, child_b]
+        else:
+            self._bytes = bytearray((byte_b, byte_a))
+            self._children = [child_b, child_a]
 
     def children_items(self) -> Iterator[tuple[int, Child]]:
         yield from zip(self._bytes, self._children, strict=True)
+
+    def children_values(self) -> list[Child]:
+        return self._children
 
     @property
     def num_children(self) -> int:
         return len(self._bytes)
 
 
+_NODE4_BYTES = _INNER_HEADER_BYTES + 4 + 4 * _POINTER_BYTES  # 56 B
+_NODE16_BYTES = _INNER_HEADER_BYTES + 16 + 16 * _POINTER_BYTES  # 164 B
+_NODE48_BYTES = _INNER_HEADER_BYTES + 256 + 48 * _POINTER_BYTES  # 660 B
+_NODE256_BYTES = _INNER_HEADER_BYTES + 256 * _POINTER_BYTES  # 2068 B
+
+
 class Node4(_SortedArrayNode):
     CAPACITY = 4
 
     def memory_bytes(self) -> int:
-        return _INNER_HEADER_BYTES + 4 + 4 * _POINTER_BYTES  # 56 B
+        return _NODE4_BYTES
 
     def grown(self) -> "Node16":
         node = Node16()
         node._copy_meta_from(self)
-        node._bytes = list(self._bytes)
+        node._bytes = bytearray(self._bytes)
         node._children = list(self._children)
         return node
 
@@ -228,24 +260,58 @@ class Node4(_SortedArrayNode):
         return self
 
 
+def new_node4(prefix: bytes, byte_a: int, child_a: Child, byte_b: int, child_b: Child) -> Node4:
+    """Allocate a two-child Node4 in one step.
+
+    Equivalent to ``Node4(prefix=prefix)`` followed by
+    ``init_two_children`` but without the throwaway empty arrays and the
+    extra call frame — leaf and prefix splits allocate one of these per
+    structural change, so construction is hot.
+    """
+    node = Node4.__new__(Node4)
+    node.prefix = prefix
+    node.dirty = False
+    node.activity = False
+    node.clean_candidate = False
+    node.access_count = 0
+    node.insert_count = 0
+    node.leaf_count = 0
+    if byte_a < byte_b:
+        node._bytes = bytearray((byte_a, byte_b))
+        node._children = [child_a, child_b]
+    else:
+        node._bytes = bytearray((byte_b, byte_a))
+        node._children = [child_b, child_a]
+    return node
+
+
 class Node16(_SortedArrayNode):
     CAPACITY = 16
     SHRINK_CAPACITY = 4
 
     def memory_bytes(self) -> int:
-        return _INNER_HEADER_BYTES + 16 + 16 * _POINTER_BYTES  # 164 B
+        return _NODE16_BYTES
 
     def grown(self) -> "Node48":
-        node = Node48()
+        # Direct layout build: ``_bytes`` is sorted, so assigning slots in
+        # array order gives exactly the slot assignment the per-child
+        # ``set_child`` loop would (next free slot, ascending byte).
+        node = Node48.__new__(Node48)
         node._copy_meta_from(self)
-        for byte, child in self.children_items():
-            node.set_child(byte, child)
+        index = [-1] * 256
+        for slot, byte in enumerate(self._bytes):
+            index[byte] = slot
+        node._index = index
+        children: list[Optional[Child]] = list(self._children)
+        children.extend([None] * (Node48.CAPACITY - len(children)))
+        node._children = children
+        node._count = len(self._bytes)
         return node
 
     def shrunk(self) -> "Node4":
         node = Node4()
         node._copy_meta_from(self)
-        node._bytes = list(self._bytes)
+        node._bytes = bytearray(self._bytes)
         node._children = list(self._children)
         return node
 
@@ -295,18 +361,32 @@ class Node48(InnerNode):
                 assert child is not None
                 yield byte, child
 
+    def children_values(self) -> list[Child]:
+        # Slot order, not key order: only for order-insensitive walks.
+        return [c for c in self._children if c is not None]
+
     @property
     def num_children(self) -> int:
         return self._count
 
+    def is_full(self) -> bool:
+        return self._count >= self.CAPACITY
+
     def memory_bytes(self) -> int:
-        return _INNER_HEADER_BYTES + 256 + 48 * _POINTER_BYTES  # 660 B
+        return _NODE48_BYTES
 
     def grown(self) -> "Node256":
-        node = Node256()
+        node = Node256.__new__(Node256)
         node._copy_meta_from(self)
-        for byte, child in self.children_items():
-            node.set_child(byte, child)
+        children: list[Optional[Child]] = [None] * 256
+        index = self._index
+        own = self._children
+        for byte in range(256):
+            slot = index[byte]
+            if slot >= 0:
+                children[byte] = own[slot]
+        node._children = children
+        node._count = self._count
         return node
 
     def shrunk(self) -> "Node16":
@@ -349,12 +429,18 @@ class Node256(InnerNode):
             if child is not None:
                 yield byte, child
 
+    def children_values(self) -> list[Child]:
+        return [c for c in self._children if c is not None]
+
     @property
     def num_children(self) -> int:
         return self._count
 
+    def is_full(self) -> bool:
+        return self._count >= self.CAPACITY
+
     def memory_bytes(self) -> int:
-        return _INNER_HEADER_BYTES + 256 * _POINTER_BYTES  # 2068 B
+        return _NODE256_BYTES
 
     def grown(self) -> "Node256":
         return self

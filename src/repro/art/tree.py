@@ -21,9 +21,23 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from repro.art.keys import common_prefix_length
-from repro.art.nodes import Child, InnerNode, Leaf, Node4
+from repro.art.nodes import (
+    _EMBEDDABLE_VALUE_BYTES,
+    ART_LEAF_OVERHEAD,
+    Child,
+    InnerNode,
+    Leaf,
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+    new_node4,
+)
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+
+#: Fixed Node4 footprint, hoisted for the split fast paths.
+_NODE4_BYTES = Node4().memory_bytes()
 
 
 @dataclass
@@ -54,6 +68,23 @@ class AdaptiveRadixTree:
     the framework's watermark logic sees realistic sizes.
     """
 
+    __slots__ = (
+        "_root",
+        "_clock",
+        "_costs",
+        "_background",
+        "_visit_cost",
+        "_mutate_cost",
+        "_alloc_cost",
+        "_charge_fn",
+        "memory_bytes",
+        "key_count",
+        "tracking_enabled",
+        "sample_every",
+        "_op_counter",
+        "on_node_replaced",
+    )
+
     def __init__(
         self,
         clock: SimClock | None = None,
@@ -64,6 +95,19 @@ class AdaptiveRadixTree:
         self._clock = clock
         self._costs = costs or CostModel()
         self._background = background
+        # Hot-path accounting, decoupled from the per-visit work: the unit
+        # cost and the charge target are resolved once, so each operation
+        # pays a single bound-method call instead of per-node attribute
+        # chains (the charged expression is unchanged — see _charge).
+        self._visit_cost = self._costs.art_node_visit
+        self._mutate_cost = self._costs.leaf_mutate
+        self._alloc_cost = self._costs.node_alloc
+        if clock is None:
+            self._charge_fn: Optional[Callable[[float], None]] = None
+        elif background:
+            self._charge_fn = clock.charge_background
+        else:
+            self._charge_fn = clock.charge_cpu
         self.memory_bytes = self._root.memory_bytes()
         self.key_count = 0
         self.tracking_enabled = False
@@ -78,13 +122,9 @@ class AdaptiveRadixTree:
     # cost charging
     # ------------------------------------------------------------------
     def _charge(self, visits: int, extra_ns: float = 0.0) -> None:
-        if self._clock is None:
-            return
-        ns = visits * self._costs.art_node_visit + extra_ns
-        if self._background:
-            self._clock.charge_background(ns)
-        else:
-            self._clock.charge_cpu(ns)
+        charge = self._charge_fn
+        if charge is not None:
+            charge(visits * self._visit_cost + extra_ns)
 
     def _should_sample(self) -> bool:
         if not self.tracking_enabled:
@@ -97,24 +137,40 @@ class AdaptiveRadixTree:
     # ------------------------------------------------------------------
     def search(self, key: bytes) -> Optional[bytes]:
         """Return the value stored under ``key``, or ``None`` on a miss."""
-        record = self._should_sample()
+        record = self.tracking_enabled and self._should_sample()
         node: Child = self._root
         depth = 0
         visits = 0
+        key_len = len(key)
         while isinstance(node, InnerNode):
             visits += 1
             if record:
                 node.access_count += 1
             prefix = node.prefix
             if prefix:
-                if key[depth : depth + len(prefix)] != prefix:
+                # startswith(…, depth) is the sliceless spelling of
+                # key[depth:depth+len(prefix)] == prefix (a too-short
+                # remainder compares unequal either way).
+                if not key.startswith(prefix, depth):
                     self._charge(visits)
                     return None
                 depth += len(prefix)
-            if depth >= len(key):
+            if depth >= key_len:
                 self._charge(visits)
                 return None
-            nxt = node.child(key[depth])
+            # Monomorphic inline of node.child(): the layouts are final and
+            # the descent is the hottest loop in the tree, so the dispatch
+            # happens on the class identity rather than a method call.
+            byte = key[depth]
+            cls = node.__class__
+            if cls is Node4 or cls is Node16:
+                i = node._bytes.find(byte)
+                nxt = node._children[i] if i >= 0 else None
+            elif cls is Node256:
+                nxt = node._children[byte]
+            else:
+                slot = node._index[byte]
+                nxt = node._children[slot] if slot >= 0 else None
             if nxt is None:
                 self._charge(visits)
                 return None
@@ -138,8 +194,18 @@ class AdaptiveRadixTree:
         ``dirty=False`` is used when reloading keys whose copy survives in
         Index Y (Section II-D): they must not trigger write-backs.
         """
-        record = self._should_sample()
-        path: list[InnerNode] = []
+        record = self.tracking_enabled and self._should_sample()
+        # Single-pass bookkeeping: each node is speculatively marked
+        # (dirty/activity/leaf_count) as the descent *leaves* it, so no
+        # second walk — and no path list — is needed.  The one case that
+        # must revisit ancestors, the leaf-count rollback on overwrite,
+        # re-descends from the root instead (_rollback_new_key); it is as
+        # cheap as the path walk it replaces and off the new-key hot path.
+        # Deferred marking also keeps the prefix-split case sound — the
+        # bypassed node is not yet marked when the junction takes its
+        # place, so it keeps its pre-insert flags exactly as the two-pass
+        # version left them.
+        charge = self._charge_fn
         parent: Optional[InnerNode] = None
         parent_byte = 0
         node: InnerNode = self._root
@@ -148,32 +214,66 @@ class AdaptiveRadixTree:
 
         while True:
             visits += 1
-            path.append(node)
             if record:
                 node.insert_count += 1
             prefix = node.prefix
             if prefix:
-                match = common_prefix_length(key[depth:], prefix)
-                if match < len(prefix):
+                if not key.startswith(prefix, depth):
+                    match = common_prefix_length(key[depth:], prefix)
                     junction = self._split_prefix(
                         parent, parent_byte, node, key, depth, match, value, dirty
                     )
                     # The new leaf hangs off the junction, not off ``node``:
-                    # swap them so leaf counting lands on the right nodes.
-                    path[-1] = junction
-                    self._finish_insert(path, dirty, new_key=True, visits=visits)
+                    # the junction (not the bypassed node) joins the marked
+                    # path for the new key.
+                    if dirty:
+                        junction.dirty = True
+                        junction.activity = True
+                    junction.leaf_count += 1
+                    self.key_count += 1
+                    if charge is not None:
+                        charge(visits * self._visit_cost + self._mutate_cost)
                     return True
                 depth += len(prefix)
+            # Same monomorphic child dispatch as in search().  The sorted
+            # layouts come first: in a populated tree the lower levels are
+            # overwhelmingly Node4/Node16, so most visits take the first
+            # branch (the big layouts sit near the root, once per path).
             byte = key[depth]
-            child = node.child(byte)
+            cls = node.__class__
+            if cls is Node4 or cls is Node16:
+                i = node._bytes.find(byte)
+                child = node._children[i] if i >= 0 else None
+            elif cls is Node256:
+                child = node._children[byte]
+            else:
+                slot = node._index[byte]
+                child = node._children[slot] if slot >= 0 else None
             if child is None:
-                node = self._ensure_capacity(parent, parent_byte, node, path)
-                leaf = Leaf(key, value, dirty)
-                node.set_child(byte, leaf)
-                self.memory_bytes += leaf.memory_bytes()
-                self._finish_insert(path, dirty, new_key=True, visits=visits)
+                # Leaf.__new__ + direct stores: skips the __init__ frame on
+                # the per-new-key allocation.
+                leaf = Leaf.__new__(Leaf)
+                leaf.key = key
+                leaf.value = value
+                leaf.dirty = dirty
+                if cls is Node256:
+                    node._children[byte] = leaf
+                    node._count += 1
+                else:
+                    if node.is_full():
+                        node = self._grow_node(parent, parent_byte, node)
+                    node.set_child(byte, leaf)
+                if len(value) > _EMBEDDABLE_VALUE_BYTES:
+                    self.memory_bytes += ART_LEAF_OVERHEAD + len(value)
+                if dirty:
+                    node.dirty = True
+                    node.activity = True
+                node.leaf_count += 1
+                self.key_count += 1
+                if charge is not None:
+                    charge(visits * self._visit_cost + self._mutate_cost)
                 return True
-            if isinstance(child, Leaf):
+            if child.__class__ is Leaf:
                 if child.key == key:
                     # Leaf footprint is nonlinear in the value length (short
                     # values embed in the pointer word), so account via the
@@ -182,46 +282,157 @@ class AdaptiveRadixTree:
                     child.value = value
                     self.memory_bytes += child.memory_bytes() - before
                     child.dirty = child.dirty or dirty
-                    self._finish_insert(path, dirty, new_key=False, visits=visits)
+                    if dirty:
+                        node.dirty = True
+                        node.activity = True
+                    if node is not self._root:
+                        self._rollback_new_key(key, node)
+                    if charge is not None:
+                        charge(visits * self._visit_cost + self._mutate_cost)
                     return False
                 junction = self._split_leaf(node, byte, child, key, value, depth + 1, dirty)
-                path.append(junction)
-                self._finish_insert(path, dirty, new_key=True, visits=visits)
+                if dirty:
+                    node.dirty = True
+                    node.activity = True
+                    junction.dirty = True
+                    junction.activity = True
+                node.leaf_count += 1
+                junction.leaf_count += 1
+                self.key_count += 1
+                if charge is not None:
+                    charge(visits * self._visit_cost + self._mutate_cost)
                 return True
+            if dirty:
+                node.dirty = True
+                node.activity = True
+            node.leaf_count += 1
             parent, parent_byte = node, byte
             node = child
             depth += 1
 
-    def _finish_insert(
-        self, path: list[InnerNode], dirty: bool, new_key: bool, visits: int
-    ) -> None:
-        for node in path:
+    def bulk_load_sorted(self, pairs: list[tuple[bytes, bytes]], dirty: bool = True) -> None:
+        """Build an empty tree from sorted, unique, prefix-free pairs.
+
+        Bottom-up sorted-run load: every inner node is allocated once at
+        its final layout instead of growing through the smaller ones, and
+        no per-key descent from the root happens at all.  The resulting
+        structure, leaf counts, dirty bits, and memory account are the
+        same as inserting the pairs one by one (ART structure is
+        insertion-order independent below the always-empty-prefix root).
+
+        Charging model: one node visit per path level per key, one
+        ``leaf_mutate`` per key, one ``node_alloc`` per inner node built —
+        the steady-state cost of the equivalent inserts without the
+        transient grow/split allocations the batch avoids.
+
+        Non-empty trees fall back to sequential inserts.
+        """
+        if not pairs:
+            return
+        if self.key_count:
+            insert = self.insert
+            for key, value in pairs:
+                insert(key, value, dirty)
+            return
+
+        counters = [0, 0]  # [total path visits, inner nodes allocated]
+
+        def attach(prefix: bytes, lo: int, hi: int, at: int) -> InnerNode:
+            """Group ``pairs[lo:hi]`` by the byte at ``at`` under a new node."""
+            groups: list[tuple[int, int, int]] = []
+            start = lo
+            byte = pairs[lo][0][at]
+            for i in range(lo + 1, hi):
+                b = pairs[i][0][at]
+                if b != byte:
+                    groups.append((byte, start, i))
+                    byte, start = b, i
+            groups.append((byte, start, hi))
+            count = len(groups)
+            if count <= 4:
+                node: InnerNode = Node4(prefix=prefix)
+            elif count <= 16:
+                node = Node16(prefix=prefix)
+            elif count <= 48:
+                node = Node48(prefix=prefix)
+            else:
+                node = Node256(prefix=prefix)
+            for b, g_lo, g_hi in groups:
+                node.set_child(b, build(g_lo, g_hi, at + 1))
+            node.leaf_count = hi - lo
             if dirty:
                 node.dirty = True
                 node.activity = True
-            if new_key:
-                node.leaf_count += 1
-        if new_key:
-            self.key_count += 1
-        self._charge(visits, self._costs.leaf_mutate)
+            self.memory_bytes += node.memory_bytes()
+            return node
 
-    def _ensure_capacity(
+        def build(lo: int, hi: int, depth: int) -> Child:
+            if hi - lo == 1:
+                key, value = pairs[lo]
+                leaf = Leaf(key, value, dirty)
+                self.memory_bytes += leaf.memory_bytes()
+                return leaf
+            first = pairs[lo][0]
+            last = pairs[hi - 1][0]
+            # Sorted input: the common prefix of first and last is the
+            # common prefix of the whole run.
+            limit = min(len(first), len(last))
+            match = depth
+            while match < limit and first[match] == last[match]:
+                match += 1
+            node = attach(first[depth:match], lo, hi, match)
+            counters[0] += hi - lo
+            counters[1] += 1
+            return node
+
+        n = len(pairs)
+        # The root keeps its always-empty prefix (children group on the
+        # first key byte), matching what incremental inserts produce.
+        root = attach(b"", 0, n, 0)
+        counters[0] += n
+        self.memory_bytes -= self._root.memory_bytes()
+        if type(root) is not type(self._root):
+            counters[1] += 1  # the fresh root had to outgrow the Node4
+        self._root = root
+        self.key_count = n
+        self._charge(
+            counters[0],
+            n * self._mutate_cost + counters[1] * self._alloc_cost,
+        )
+
+    def _rollback_new_key(self, key: bytes, stop: InnerNode) -> None:
+        """Undo the speculative leaf-count bumps above ``stop`` (overwrite).
+
+        The descent marked every node it *left*; on an overwrite those
+        bumps are wrong, so retrace the (unchanged) path from the root and
+        decrement every ancestor strictly above ``stop``.
+        """
+        node: InnerNode = self._root
+        depth = 0
+        while node is not stop:
+            node.leaf_count -= 1
+            depth += len(node.prefix) + 1
+            child = node.child(key[depth - 1])
+            assert isinstance(child, InnerNode)
+            node = child
+
+    def _grow_node(
         self,
         parent: Optional[InnerNode],
         parent_byte: int,
         node: InnerNode,
-        path: list[InnerNode],
     ) -> InnerNode:
-        """Grow ``node`` if full, replacing it in its parent and in ``path``."""
-        if not node.is_full():
-            return node
+        """Replace a full ``node`` with the next-larger layout."""
         grown = node.grown()
         self.memory_bytes += grown.memory_bytes() - node.memory_bytes()
         self._replace_child(parent, parent_byte, node, grown)
-        path[path.index(node)] = grown
         if self.on_node_replaced is not None:
             self.on_node_replaced(node, grown)
-        self._charge(0, self._costs.node_alloc)
+        # ``_charge(0, x)`` charges exactly ``0.0 + x == x``; call through
+        # directly to skip the wrapper frame on the grow path.
+        charge = self._charge_fn
+        if charge is not None:
+            charge(self._alloc_cost)
         return grown
 
     def _replace_child(
@@ -252,19 +463,25 @@ class AdaptiveRadixTree:
 
         Returns the new junction node (caller fixes up leaf counting; the
         junction enters with ``node``'s count and is bumped by
-        ``_finish_insert`` for the new leaf).
+        the caller for the new leaf).
         """
         prefix = node.prefix
-        junction = Node4(prefix=prefix[:match])
+        leaf = Leaf.__new__(Leaf)
+        leaf.key = key
+        leaf.value = value
+        leaf.dirty = dirty
+        junction = new_node4(prefix[:match], prefix[match], node, key[depth + match], leaf)
         junction.leaf_count = node.leaf_count
         junction.dirty = node.dirty
-        junction.set_child(prefix[match], node)
         node.prefix = prefix[match + 1 :]
-        leaf = Leaf(key, value, dirty)
-        junction.set_child(key[depth + match], leaf)
         self._replace_child(parent, parent_byte, node, junction)
-        self.memory_bytes += junction.memory_bytes() + leaf.memory_bytes()
-        self._charge(0, self._costs.node_alloc)
+        if len(value) > _EMBEDDABLE_VALUE_BYTES:
+            self.memory_bytes += _NODE4_BYTES + ART_LEAF_OVERHEAD + len(value)
+        else:
+            self.memory_bytes += _NODE4_BYTES
+        charge = self._charge_fn
+        if charge is not None:
+            charge(self._alloc_cost)
         return junction
 
     def _split_leaf(
@@ -280,20 +497,31 @@ class AdaptiveRadixTree:
         """Replace a leaf slot with a Node4 holding both the old and new leaf.
 
         Returns the junction; it enters counting only the existing leaf and
-        is bumped to two by ``_finish_insert``.
+        is bumped to two by the caller.
         """
-        old_suffix = existing.key[depth:]
-        new_suffix = key[depth:]
-        match = common_prefix_length(old_suffix, new_suffix)
-        junction = Node4(prefix=new_suffix[:match])
+        # Inline suffix matching: the suffixes differ at their first byte
+        # with overwhelming probability (they already share the radix path
+        # down to ``depth``), so a direct scan beats slicing both keys.
+        existing_key = existing.key
+        limit = min(len(existing_key), len(key))
+        match = depth
+        while match < limit and existing_key[match] == key[match]:
+            match += 1
+        leaf = Leaf.__new__(Leaf)
+        leaf.key = key
+        leaf.value = value
+        leaf.dirty = dirty
+        junction = new_node4(key[depth:match], existing_key[match], existing, key[match], leaf)
         junction.leaf_count = 1
         junction.dirty = existing.dirty
-        junction.set_child(old_suffix[match], existing)
-        leaf = Leaf(key, value, dirty)
-        junction.set_child(new_suffix[match], leaf)
         node.set_child(byte, junction)
-        self.memory_bytes += junction.memory_bytes() + leaf.memory_bytes()
-        self._charge(0, self._costs.node_alloc)
+        if len(value) > _EMBEDDABLE_VALUE_BYTES:
+            self.memory_bytes += _NODE4_BYTES + ART_LEAF_OVERHEAD + len(value)
+        else:
+            self.memory_bytes += _NODE4_BYTES
+        charge = self._charge_fn
+        if charge is not None:
+            charge(self._alloc_cost)
         return junction
 
     # ------------------------------------------------------------------
@@ -309,7 +537,7 @@ class AdaptiveRadixTree:
             visits += 1
             prefix = node.prefix
             if prefix:
-                if key[depth : depth + len(prefix)] != prefix:
+                if not key.startswith(prefix, depth):
                     self._charge(visits)
                     return False
                 depth += len(prefix)
@@ -448,14 +676,23 @@ class AdaptiveRadixTree:
         return entries
 
     def subtree_memory(self, node: Child) -> int:
-        """Total C-layout footprint of the subtree rooted at ``node``."""
+        """Total C-layout footprint of the subtree rooted at ``node``.
+
+        Runs once per release-policy candidate, so the walk is tuned:
+        unordered ``children_values`` traversal with the embedded-leaf
+        footprint rule inlined (an int sum is order-independent).
+        """
         total = 0
         stack: list[Child] = [node]
+        pop = stack.pop
+        push = stack.extend
         while stack:
-            current = stack.pop()
-            total += current.memory_bytes()
+            current = pop()
             if isinstance(current, InnerNode):
-                stack.extend(child for __, child in current.children_items())
+                total += current.memory_bytes()
+                push(current.children_values())
+            elif len(current.value) > _EMBEDDABLE_VALUE_BYTES:
+                total += ART_LEAF_OVERHEAD + len(current.value)
         return total
 
     def iter_dirty_leaves(self, node: Child) -> Iterator[Leaf]:
@@ -475,11 +712,13 @@ class AdaptiveRadixTree:
     def clear_dirty(self, node: Child) -> None:
         """Clear D bits and leaf dirty flags in the whole subtree."""
         stack: list[Child] = [node]
+        pop = stack.pop
+        push = stack.extend
         while stack:
-            current = stack.pop()
+            current = pop()
             current.dirty = False
             if isinstance(current, InnerNode):
-                stack.extend(child for __, child in current.children_items())
+                push(current.children_values())
 
     def detach(self, entry: PartitionEntry) -> InnerNode:
         """Remove ``entry.node``'s subtree from the tree and return it.
@@ -509,11 +748,13 @@ class AdaptiveRadixTree:
     def reset_access_counts(self, node: Child) -> None:
         """Zero access counters in a subtree (after a release, Section II-C)."""
         stack: list[Child] = [node]
+        pop = stack.pop
+        push = stack.extend
         while stack:
-            current = stack.pop()
+            current = pop()
             if isinstance(current, InnerNode):
                 current.access_count = 0
-                stack.extend(child for __, child in current.children_items())
+                push(current.children_values())
 
     def __len__(self) -> int:
         return self.key_count

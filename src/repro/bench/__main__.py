@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench fig3_random
     python -m repro.bench fig8 table2 ablation_precleaning
     python -m repro.bench all
+    python -m repro.bench --parallel 4 all
     python -m repro.bench --sanitize fig3_random
 
 Each experiment prints its reproduced table and writes structured JSON
@@ -14,6 +15,13 @@ sanitizers (``repro.check``) on every system the experiments build; the
 checks charge no simulated time, but wall-clock time grows sharply and
 buffer-pool state shifts (see EXPERIMENTS.md), so it is a debugging
 mode, not a benchmarking mode.
+
+``--parallel N`` fans the selected experiments out over ``N`` worker
+processes.  Every experiment is a pure function of its fixed seeds and
+writes to its own ``results/*.json`` file, so running them in separate
+processes changes nothing about the output: the JSON files and the
+printed tables are byte-identical to a serial run (tables are printed
+in request order as workers finish).
 """
 
 from __future__ import annotations
@@ -44,12 +52,54 @@ EXPERIMENTS = {
 }
 
 
+def _worker_init(sanitize: bool) -> None:
+    """Propagate the ``--sanitize`` flag into pool worker processes."""
+    if sanitize:
+        from repro.check.flags import set_sanitize
+
+        set_sanitize(True)
+
+
+def _run_by_name(name: str) -> str:
+    """Run one experiment in a worker process and return its table.
+
+    Experiments are dispatched by *name*, not by function object: several
+    registry entries are lambdas, which do not pickle, and resolving the
+    name inside the worker keeps the parent/child contract to a plain
+    string in both directions.  The experiment writes its own
+    ``results/*.json`` from the worker.
+    """
+    return EXPERIMENTS[name]()["table"]
+
+
+def _run_parallel(names: list[str], jobs: int, sanitize: bool) -> None:
+    import multiprocessing
+
+    jobs = max(1, min(jobs, len(names)))
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(jobs, initializer=_worker_init, initargs=(sanitize,)) as pool:
+        # imap preserves submission order, so the printed tables come out
+        # exactly as a serial run would print them.
+        for table in pool.imap(_run_by_name, names):
+            print(table)
+            print()
+
+
 def main(argv: list[str]) -> int:
-    if "--sanitize" in argv:
+    sanitize = "--sanitize" in argv
+    if sanitize:
         from repro.check.flags import set_sanitize
 
         argv = [a for a in argv if a != "--sanitize"]
         set_sanitize(True)
+    jobs = 0
+    if "--parallel" in argv:
+        at = argv.index("--parallel")
+        if at + 1 >= len(argv) or not argv[at + 1].isdigit() or int(argv[at + 1]) < 1:
+            print("--parallel requires a positive integer worker count", file=sys.stderr)
+            return 2
+        jobs = int(argv[at + 1])
+        argv = argv[:at] + argv[at + 2 :]
     if not argv or argv[0] in ("-h", "--help", "list"):
         print(__doc__)
         print("Available experiments:")
@@ -62,6 +112,9 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("run 'python -m repro.bench list' to see the options", file=sys.stderr)
         return 2
+    if jobs > 1 and len(names) > 1:
+        _run_parallel(names, jobs, sanitize)
+        return 0
     for name in names:
         result = EXPERIMENTS[name]()
         print(result["table"])

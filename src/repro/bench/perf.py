@@ -1,0 +1,342 @@
+"""Wall-clock microbenchmark harness (``python -m repro.bench.perf``).
+
+``repro.bench`` reports *simulated* time and must stay byte-identical
+across refactors; this module instead times the implementation itself —
+how much wall-clock time the Python hot paths burn per operation.  The
+two are deliberately decoupled: an optimization is only admissible when
+it moves the numbers here while leaving ``results/*.json`` untouched.
+
+Results accumulate in ``BENCH_perf.json`` at the repository root as a
+*trajectory*: one entry per recorded point (typically one per PR), so
+the history of the repo's wall-clock performance travels with the code.
+
+Usage::
+
+    python -m repro.bench.perf                  # full scale, update BENCH_perf.json
+    python -m repro.bench.perf --quick          # CI scale (smaller, no file update)
+    python -m repro.bench.perf --label PR3      # record/replace an explicit label
+    python -m repro.bench.perf --only art_random_insert --no-write
+
+``--quick`` never rewrites the committed trajectory by default (CI
+uploads its refreshed copy as an artifact via ``--out``); full runs
+replace the entry with the same label or append a new one.
+
+See EXPERIMENTS.md ("Wall-clock vs. simulated time") for methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+# Wall-clock measurement is this module's whole purpose; the simulation
+# itself must keep using SimClock.
+from time import perf_counter  # reprolint: allow[RL004]
+from typing import Callable
+
+VALUE8 = b"v" * 8
+
+#: (full, quick) operation counts per benchmark.
+_SCALES = {
+    "art_random_insert": (50_000, 8_000),
+    "art_search": (50_000, 8_000),
+    "art_bulk_load": (50_000, 8_000),
+    "memtable_put": (30_000, 6_000),
+    "rocksdb_insert": (30_000, 6_000),
+    "bplus_insert": (20_000, 4_000),
+    "kv_get_many": (20_000, 4_000),
+    "page_codec": (2_000, 400),
+    "fig3_random_e2e": (30_000, 6_000),
+}
+
+#: best-of-N wall times per benchmark (1 for the expensive end-to-end run).
+_REPEATS = {"fig3_random_e2e": 1}
+_DEFAULT_REPEATS = 3
+
+
+def _encoded_random_keys(n: int, seed: int = 3) -> list[bytes]:
+    from repro.art.keys import encode_int
+    from repro.workloads import random_insert_keys
+
+    return [encode_int(k) for k in random_insert_keys(n, key_space=1 << 40, seed=seed)]
+
+
+# ----------------------------------------------------------------------
+# individual benchmarks — each returns (ops, wall_seconds)
+# ----------------------------------------------------------------------
+def _bench_art_random_insert(n: int) -> tuple[int, float]:
+    from repro.art.tree import AdaptiveRadixTree
+    from repro.sim.clock import SimClock
+
+    keys = _encoded_random_keys(n)
+    tree = AdaptiveRadixTree(clock=SimClock())  # reprolint: allow[RL001]
+    insert = tree.insert
+    t0 = perf_counter()
+    for key in keys:
+        insert(key, VALUE8)
+    return n, perf_counter() - t0
+
+
+def _bench_art_search(n: int) -> tuple[int, float]:
+    from repro.art.tree import AdaptiveRadixTree
+    from repro.sim.clock import SimClock
+
+    keys = _encoded_random_keys(n)
+    tree = AdaptiveRadixTree(clock=SimClock())  # reprolint: allow[RL001]
+    for key in keys:
+        tree.insert(key, VALUE8)
+    search = tree.search
+    t0 = perf_counter()
+    for key in keys:
+        search(key)
+    return n, perf_counter() - t0
+
+
+def _bench_art_bulk_load(n: int) -> tuple[int, float]:
+    """Sorted-run load; uses the batched API when the tree grows one."""
+    from repro.art.tree import AdaptiveRadixTree
+    from repro.sim.clock import SimClock
+
+    pairs = [(key, VALUE8) for key in sorted(set(_encoded_random_keys(n)))]
+    tree = AdaptiveRadixTree(clock=SimClock())  # reprolint: allow[RL001]
+    loader = getattr(tree, "bulk_load_sorted", None)
+    t0 = perf_counter()
+    if loader is not None:
+        loader(pairs)
+    else:
+        insert = tree.insert
+        for key, value in pairs:
+            insert(key, value)
+    return len(pairs), perf_counter() - t0
+
+
+def _bench_memtable_put(n: int) -> tuple[int, float]:
+    from repro.lsm.memtable import MemTable
+    from repro.sim.clock import SimClock
+
+    keys = _encoded_random_keys(n)
+    table = MemTable(clock=SimClock())  # reprolint: allow[RL001]
+    put = table.put
+    t0 = perf_counter()
+    for key in keys:
+        put(key, VALUE8)
+    return n, perf_counter() - t0
+
+
+def _bench_rocksdb_insert(n: int) -> tuple[int, float]:
+    """Memtable + SSTable flush + compaction via the RocksDB-like system."""
+    from repro.systems import build_system
+    from repro.workloads import random_insert_keys
+
+    keys = random_insert_keys(n, key_space=1 << 40, seed=3)
+    system = build_system("RocksDB", memory_limit_bytes=64 * 1024)
+    put_many = getattr(system, "put_many", None)
+    t0 = perf_counter()
+    if put_many is not None:
+        put_many(keys, VALUE8)
+    else:
+        insert = system.insert
+        for key in keys:
+            insert(key, VALUE8)
+    return n, perf_counter() - t0
+
+
+def _bench_bplus_insert(n: int) -> tuple[int, float]:
+    """Disk B+ tree + buffer pool + page codec via the B+-B+ system."""
+    from repro.systems import build_system
+    from repro.workloads import random_insert_keys
+
+    keys = random_insert_keys(n, key_space=1 << 40, seed=3)
+    system = build_system("B+-B+", memory_limit_bytes=64 * 1024)
+    put_many = getattr(system, "put_many", None)
+    t0 = perf_counter()
+    if put_many is not None:
+        put_many(keys, VALUE8)
+    else:
+        insert = system.insert
+        for key in keys:
+            insert(key, VALUE8)
+    return n, perf_counter() - t0
+
+
+def _bench_kv_get_many(n: int) -> tuple[int, float]:
+    """Batched point reads against a preloaded ART-LSM system."""
+    from repro.systems import build_system
+    from repro.workloads import random_insert_keys
+
+    keys = random_insert_keys(n, key_space=1 << 40, seed=3)
+    system = build_system("ART-LSM", memory_limit_bytes=64 * 1024)
+    for key in keys:
+        system.insert(key, VALUE8)
+    system.flush()
+    get_many = getattr(system, "get_many", None)
+    t0 = perf_counter()
+    if get_many is not None:
+        get_many(keys)
+    else:
+        read = system.read
+        for key in keys:
+            read(key)
+    return n, perf_counter() - t0
+
+
+def _bench_page_codec(n: int) -> tuple[int, float]:
+    """Encode+decode round trips of a 64-entry leaf page."""
+    from repro.diskbtree.page import LeafPage, decode_page, encode_page
+
+    leaf = LeafPage()
+    for i in range(64):
+        leaf.keys.append(i.to_bytes(8, "big"))
+        leaf.values.append(VALUE8)
+    leaf.next_leaf = 7
+    t0 = perf_counter()
+    for _ in range(n):
+        decode_page(encode_page(leaf))
+    return n, perf_counter() - t0
+
+
+def _bench_fig3_random_e2e(n: int) -> tuple[int, float]:
+    """The Figure 3 random-insert workload, all four systems, no file I/O."""
+    from repro.bench.harness import insert_series
+    from repro.systems import build_system
+    from repro.workloads import random_insert_keys
+
+    keys = random_insert_keys(n, key_space=1 << 40, seed=3)
+    chunk = max(1, n // 12)
+    t0 = perf_counter()
+    for name in ("ART-LSM", "ART-B+", "B+-B+", "RocksDB"):
+        system = build_system(name, memory_limit_bytes=256 * 1024)
+        insert_series(system, keys, VALUE8, chunk, threads=4)
+    return 4 * n, perf_counter() - t0
+
+
+_BENCHMARKS: dict[str, Callable[[int], tuple[int, float]]] = {
+    "art_random_insert": _bench_art_random_insert,
+    "art_search": _bench_art_search,
+    "art_bulk_load": _bench_art_bulk_load,
+    "memtable_put": _bench_memtable_put,
+    "rocksdb_insert": _bench_rocksdb_insert,
+    "bplus_insert": _bench_bplus_insert,
+    "kv_get_many": _bench_kv_get_many,
+    "page_codec": _bench_page_codec,
+    "fig3_random_e2e": _bench_fig3_random_e2e,
+}
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict[str, dict]:
+    """Run the suite; returns ``{name: {"ops", "wall_s", "per_op_us"}}``."""
+    results: dict[str, dict] = {}
+    for name, fn in _BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        n = _SCALES[name][1 if quick else 0]
+        repeats = _REPEATS.get(name, _DEFAULT_REPEATS)
+        best = None
+        ops = n
+        for _ in range(repeats):
+            ops, wall = fn(n)
+            best = wall if best is None or wall < best else best
+        assert best is not None
+        results[name] = {
+            "ops": ops,
+            "wall_s": round(best, 6),
+            "per_op_us": round(best / ops * 1e6, 4),
+        }
+        print(f"  {name:<20} {ops:>8} ops   {best:8.3f} s   {best / ops * 1e6:9.3f} us/op")
+    return results
+
+
+def default_output_path() -> Path:
+    return Path(__file__).resolve().parents[3] / "BENCH_perf.json"
+
+
+def load_trajectory(path: Path) -> dict:
+    if path.exists():
+        with path.open("r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"schema": 1, "trajectory": []}
+
+
+def format_delta(baseline: dict, current: dict[str, dict]) -> str:
+    """Per-benchmark speedup of ``current`` vs a trajectory ``baseline`` entry."""
+    lines = [f"Delta vs '{baseline.get('label', '?')}' (speedup = baseline us/op ÷ new us/op):"]
+    base_benches = baseline.get("benchmarks", {})
+    for name, entry in current.items():
+        base = base_benches.get(name)
+        if base is None or not entry["per_op_us"]:
+            lines.append(f"  {name:<20} (no baseline)")
+            continue
+        speedup = base["per_op_us"] / entry["per_op_us"]
+        lines.append(
+            f"  {name:<20} {base['per_op_us']:9.3f} -> {entry['per_op_us']:9.3f} us/op   "
+            f"{speedup:5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench.perf", description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI scale; implies --no-write")
+    parser.add_argument("--label", default="current", help="trajectory entry label")
+    parser.add_argument("--only", action="append", help="run only the named benchmark(s)")
+    parser.add_argument("--no-write", action="store_true", help="measure and print only")
+    parser.add_argument("--out", type=Path, default=None, help="trajectory file path")
+    args = parser.parse_args(argv)
+
+    unknown = [n for n in args.only or [] if n not in _BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(_BENCHMARKS)}", file=sys.stderr)
+        return 2
+
+    mode = "quick" if args.quick else "full"
+    print(f"repro.bench.perf ({mode} scale, best of {_DEFAULT_REPEATS}):")
+    benches = run_benchmarks(quick=args.quick, only=args.only)
+
+    out = args.out if args.out is not None else default_output_path()
+    data = load_trajectory(out)
+    trajectory = data.setdefault("trajectory", [])
+    comparable = [e for e in trajectory if e.get("mode", "full") == mode]
+    if comparable:
+        print()
+        print(format_delta(comparable[-1], benches))
+
+    write = args.out is not None or not (args.no_write or args.quick)
+    if write:
+        entry = {
+            "label": args.label,
+            "mode": mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "benchmarks": benches,
+        }
+        if args.only:
+            # partial runs patch benchmarks into the labelled entry
+            for existing in trajectory:
+                if existing.get("label") == args.label and existing.get("mode") == mode:
+                    existing["benchmarks"].update(benches)
+                    entry = None
+                    break
+        else:
+            for i, existing in enumerate(trajectory):
+                if existing.get("label") == args.label and existing.get("mode") == mode:
+                    trajectory[i] = entry
+                    entry = None
+                    break
+        if entry is not None:
+            trajectory.append(entry)
+        with out.open("w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

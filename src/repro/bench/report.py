@@ -6,7 +6,12 @@ import json
 import os
 from typing import Any
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+#: Output directory for ``write_result``; ``REPRO_RESULTS_DIR`` overrides
+#: the in-repo ``results/`` tree (the determinism tests redirect runs to a
+#: temporary directory and byte-compare against the committed files).
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR") or os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "results"
+)
 
 
 def format_table(title: str, headers: list[str], rows: list[list[Any]]) -> str:

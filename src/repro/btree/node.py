@@ -12,6 +12,7 @@ D bit (``dirty``), C bit (``clean_candidate``), sampled ``access_count`` /
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Union
 
 _NODE_HEADER_BYTES = 40
@@ -91,9 +92,7 @@ class BInner(_FrameworkMeta):
 
     def child_slot(self, key: bytes) -> int:
         """Index of the child subtree that covers ``key``."""
-        import bisect
-
-        return bisect.bisect_right(self.separators, key)
+        return bisect_right(self.separators, key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BInner(children={len(self.children)}, leaves={self.leaf_count})"

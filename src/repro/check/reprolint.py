@@ -27,6 +27,13 @@ RL005    unseeded-random: no module-global ``random`` functions and no
          seedless ``random.Random()`` — every RNG carries an explicit
          seed so runs reproduce.
 RL006    mutable-default: no mutable default argument values.
+RL007    hot-path-overhead: inside the hot packages (``art/``, ``lsm/``,
+         ``sim/``, ``diskbtree/``) no function-local imports and no
+         attribute-chain calls (``self.clock.charge_cpu(...)``) inside
+         loops — hoist the import to module top and bind the method to a
+         local before the loop.  These patterns are semantically fine but
+         cost real wall-clock time per call on the simulator's hottest
+         paths (PR 3's profiles showed them dominating).
 =======  ==============================================================
 
 A finding on a given line is suppressed by the inline pragma
@@ -78,6 +85,11 @@ RULES: tuple[Rule, ...] = (
     Rule("RL004", "wall-clock", "no time/datetime imports in simulated code"),
     Rule("RL005", "unseeded-random", "all randomness comes from an explicitly seeded RNG"),
     Rule("RL006", "mutable-default", "no mutable default argument values"),
+    Rule(
+        "RL007",
+        "hot-path-overhead",
+        "no function-local imports or in-loop attribute-chain calls in hot modules",
+    ),
 )
 
 #: substrate classes whose construction is reserved to ``repro/sim``.
@@ -122,6 +134,10 @@ _MUTABLE_CONSTRUCTORS = frozenset(
     {"dict", "list", "set", "bytearray", "Counter", "defaultdict", "deque", "OrderedDict"}
 )
 
+#: packages forming the simulator's hot paths; RL007 polices wall-clock
+#: overhead patterns in these modules only.
+_HOT_PREFIXES = ("art/", "lsm/", "sim/", "diskbtree/")
+
 _PRAGMA_RE = re.compile(r"#\s*reprolint:\s*allow\[([^\]]*)\]")
 
 
@@ -145,10 +161,17 @@ def _in_sim(rel: str) -> bool:
     return rel.startswith("sim/")
 
 
+def _is_hot(rel: str) -> bool:
+    return rel.startswith(_HOT_PREFIXES)
+
+
 class _Visitor(ast.NodeVisitor):
     def __init__(self, rel: str) -> None:
         self.rel = rel
         self.findings: list[tuple[int, int, str, str]] = []
+        self._hot = _is_hot(rel)
+        self._func_depth = 0
+        self._loop_depth = 0
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -163,6 +186,45 @@ class _Visitor(ast.NodeVisitor):
         if isinstance(func, ast.Attribute):
             return func.attr
         return None
+
+    @staticmethod
+    def _dotted(node: ast.expr) -> str | None:
+        """Render an attribute chain rooted at a plain name (``a.b.c``)."""
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+
+    # -- RL007: loop / function-scope tracking -------------------------
+    def _visit_for(self, node: ast.For | ast.AsyncFor) -> None:
+        # The iterator expression runs once, outside the per-iteration
+        # cost, so it is visited at the enclosing loop depth.
+        self.visit(node.iter)
+        self._loop_depth += 1
+        self.visit(node.target)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_for(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_for(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        # Unlike a for-iterator, the while-test re-evaluates every
+        # iteration, so it counts as loop-body code.
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
 
     # -- RL001 / RL003 / RL005: calls ----------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -209,6 +271,24 @@ class _Visitor(ast.NodeVisitor):
                     node,
                     "RL005",
                     "Random() without a seed is OS-seeded; pass an explicit seed",
+                )
+        if (
+            self._hot
+            and self._loop_depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Attribute)
+        ):
+            # Only chains rooted at ``self`` are flagged: those are
+            # loop-invariant by construction (``self`` cannot rebind),
+            # so the bound method can always be hoisted.  A chain rooted
+            # at a loop variable usually cannot.
+            chain = self._dotted(node.func)
+            if chain is not None and chain.startswith("self."):
+                self._add(
+                    node,
+                    "RL007",
+                    f"attribute-chain call {chain}() inside a loop on a hot "
+                    "path; bind the method to a local before the loop",
                 )
         self.generic_visit(node)
 
@@ -257,11 +337,22 @@ class _Visitor(ast.NodeVisitor):
                 "BackgroundScheduler, it does not spawn threads",
             )
 
+    def _check_local_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        if self._hot and self._func_depth > 0:
+            self._add(
+                node,
+                "RL007",
+                "function-local import on a hot path pays the import-machinery "
+                "lookup on every call; hoist it to module top",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
+        self._check_local_import(node)
         for alias in node.names:
             self._check_import(node, alias.name)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._check_local_import(node)
         if node.module:
             self._check_import(node, node.module)
             if node.module == "random":
@@ -296,11 +387,15 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._func_depth += 1
         self.generic_visit(node)
+        self._func_depth -= 1
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._func_depth += 1
         self.generic_visit(node)
+        self._func_depth -= 1
 
 
 def _allowed_rules(line: str) -> frozenset[str] | None:

@@ -24,6 +24,7 @@ and per-task accounting are uniform across layers.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.config import IndeXYConfig
@@ -211,8 +212,6 @@ class IndeXY:
         consumers (the paper's TPC-C setup: the 30 GB workload limit minus
         what the other eight tables' resident indexes occupy).
         """
-        from dataclasses import replace
-
         self.config = replace(self.config, memory_limit_bytes=max(1, limit_bytes))
         self.budget.config = self.config
         self.precleaner.config = self.config

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.diskbtree.page import Page, decode_page, encode_page
+from repro.diskbtree.page import Page, copy_page, decode_page, encode_page
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
@@ -86,6 +86,18 @@ class BufferPool:
         self._frames: dict[int, _Frame] = {}
         self._clock_order: list[int] = []
         self._hand = 0
+        self._capacity_frames = config.capacity_bytes // config.page_size
+        self._dirty_fraction = config.dirty_fraction
+        self._dirty_count = 0  # incremental mirror of per-frame dirty bits
+        #: wall-clock-only decode cache: blob -> pristine decoded copy,
+        #: filled at write-back (when the page object is in hand) and
+        #: consulted at fault-in.  SimDisk returns the stored bytes object
+        #: itself, so the dict lookup runs on a cached hash.  Serving a
+        #: ``copy_page`` of the template is value-equal to decoding the
+        #: blob, so simulated behaviour is untouched; the cap just bounds
+        #: memory (cleared wholesale, deterministically, when full).
+        self._decoded: dict[bytes, Page] = {}
+        self._decoded_cap = 4 * self._capacity_frames
         self._scheduler = runtime.scheduler if runtime is not None else None
         self._writeback_task = None
         if self._scheduler is not None:
@@ -105,7 +117,7 @@ class BufferPool:
 
     @property
     def capacity_frames(self) -> int:
-        return self.config.capacity_bytes // self.config.page_size
+        return self._capacity_frames
 
     @property
     def used_bytes(self) -> int:
@@ -125,7 +137,8 @@ class BufferPool:
         blob = self.disk.read(pid)
         if self.clock is not None:
             self.clock.charge_cpu(self.costs.copy_cost(len(blob)))
-        page = decode_page(blob)
+        template = self._decoded.get(blob)
+        page = decode_page(blob) if template is None else copy_page(template)
         self._admit(pid, page, dirty=False)
         return page
 
@@ -138,7 +151,9 @@ class BufferPool:
 
     def mark_dirty(self, pid: int, mutated_entries: int = 1) -> None:
         frame = self._frames[pid]
-        frame.dirty = True
+        if not frame.dirty:
+            frame.dirty = True
+            self._dirty_count += 1
         frame.dirty_entries += mutated_entries
         frame.referenced = True
         self._maybe_proactive_writeback()
@@ -156,6 +171,8 @@ class BufferPool:
         """Discard a page that the tree freed (no write-back)."""
         frame = self._frames.pop(pid, None)
         if frame is not None:
+            if frame.dirty:
+                self._dirty_count -= 1
             self._clock_order.remove(pid)
         self.disk.free(pid)
 
@@ -163,11 +180,13 @@ class BufferPool:
     # eviction / write-back
     # ------------------------------------------------------------------
     def _admit(self, pid: int, page: Page, dirty: bool) -> None:
-        while len(self._frames) >= self.capacity_frames:
+        while len(self._frames) >= self._capacity_frames:
             if not self._evict_one():
                 break  # everything pinned: temporarily overcommit
         frame = _Frame(page)
         frame.dirty = dirty
+        if dirty:
+            self._dirty_count += 1
         self._frames[pid] = frame
         self._clock_order.append(pid)
 
@@ -214,19 +233,27 @@ class BufferPool:
                 f"({len(blob)} bytes); the tree must split before write-back"
             )
         self.disk.write(pid, blob)
+        if len(self._decoded) >= self._decoded_cap:
+            self._decoded.clear()
+        self._decoded[blob] = copy_page(frame.page)
         if self.clock is not None:
             self.clock.charge_cpu(self.costs.copy_cost(len(blob)))
         frame.dirty = False
         frame.dirty_entries = 0
+        self._dirty_count -= 1
         self.stats.bump("writebacks")
         self.stats.bump("writeback_bytes", len(blob))
 
     def _writeback_needed(self) -> bool:
-        """True when the dirty fraction has crossed the flush threshold."""
-        if len(self._frames) < self.capacity_frames:
+        """True when the dirty fraction has crossed the flush threshold.
+
+        O(1): ``_dirty_count`` tracks the per-frame dirty bits incrementally,
+        so the per-insert trigger check never scans the pool.
+        """
+        frames = len(self._frames)
+        if frames < self._capacity_frames:
             return False
-        dirty = sum(1 for f in self._frames.values() if f.dirty)
-        return dirty >= self.config.dirty_fraction * len(self._frames)
+        return self._dirty_count >= self._dirty_fraction * frames
 
     def _maybe_proactive_writeback(self) -> None:
         """Trigger check: route the batch flush through the scheduler."""
@@ -248,11 +275,13 @@ class BufferPool:
         dirty_frames = [(pid, f) for pid, f in self._frames.items() if f.dirty]
         batch = max(1, int(self.config.writeback_batch_fraction * len(self._frames)))
         dirty_frames.sort(key=lambda item: item[1].dirty_entries, reverse=True)
+        evict = self._evict_frame
+        bump = self.stats.bump
         for pid, frame in dirty_frames[:batch]:
             if frame.pins > 0:
                 continue
-            self._evict_frame(pid)
-            self.stats.bump("proactive_writebacks")
+            evict(pid)
+            bump("proactive_writebacks")
 
     def flush_all(self) -> None:
         """Write back every dirty frame (shutdown / checkpoint)."""

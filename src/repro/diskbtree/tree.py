@@ -77,9 +77,11 @@ class DiskBPlusTree:
         path: list[tuple[int, int]] = []
         pid = self._root_pid
         levels = 0
+        get_page = self.pool.get_page
+        pin = self.pool.pin
         while True:
-            page = self.pool.get_page(pid)
-            self.pool.pin(pid)
+            page = get_page(pid)
+            pin(pid)
             levels += 1
             if isinstance(page, LeafPage):
                 self._charge_levels(levels)
@@ -89,9 +91,10 @@ class DiskBPlusTree:
             pid = page.children[slot]
 
     def _unpin_path(self, path: list[tuple[int, int]], leaf_pid: int) -> None:
+        unpin = self.pool.unpin
         for pid, __ in path:
-            self.pool.unpin(pid)
-        self.pool.unpin(leaf_pid)
+            unpin(pid)
+        unpin(leaf_pid)
 
     # ------------------------------------------------------------------
     # reads
@@ -116,6 +119,7 @@ class DiskBPlusTree:
         out: list[tuple[bytes, bytes]] = []
         pid: Optional[int] = leaf_pid
         page: Optional[LeafPage] = leaf
+        get_page = self.pool.get_page
         while page is not None and len(out) < count:
             i = bisect.bisect_left(page.keys, start)
             for j in range(i, len(page.keys)):
@@ -125,23 +129,25 @@ class DiskBPlusTree:
             pid = page.next_leaf
             if pid is None or len(out) >= count:
                 break
-            page = self.pool.get_page(pid)
+            page = get_page(pid)
             self._charge_levels(1)
         return out
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Full ordered iteration (used by tests and verification)."""
         pid: Optional[int] = self._leftmost_leaf()
+        get_page = self.pool.get_page
         while pid is not None:
-            page = self.pool.get_page(pid)
+            page = get_page(pid)
             assert isinstance(page, LeafPage)
             yield from zip(page.keys, page.values, strict=True)
             pid = page.next_leaf
 
     def _leftmost_leaf(self) -> int:
         pid = self._root_pid
+        get_page = self.pool.get_page
         while True:
-            page = self.pool.get_page(pid)
+            page = get_page(pid)
             if isinstance(page, LeafPage):
                 return pid
             pid = page.children[0]

@@ -35,8 +35,9 @@ class BloomFilter:
     def build(cls, keys: Iterable[bytes], bits_per_key: int = 10) -> "BloomFilter":
         keys = list(keys)
         bloom = cls(len(keys), bits_per_key)
+        add = bloom.add
         for key in keys:
-            bloom.add(key)
+            add(key)
         return bloom
 
     def _positions(self, key: bytes) -> Iterable[int]:
@@ -46,12 +47,36 @@ class BloomFilter:
             yield h % self.num_bits
             h = (h + delta) & _MASK64
 
+    # ``add``/``may_contain`` run once per key per SSTable build and per
+    # probe, so the FNV-1a hash and the double-hashing walk from
+    # ``_positions`` are inlined here (no generator dispatch); the bit
+    # positions are identical, so filter behaviour — and therefore which
+    # tables a read probes — does not change.
     def add(self, key: bytes) -> None:
-        for pos in self._positions(key):
-            self._bits[pos >> 3] |= 1 << (pos & 7)
+        h = _FNV_OFFSET
+        for byte in key:
+            h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+        delta = ((h >> 33) | (h << 31)) & _MASK64 | 1
+        bits = self._bits
+        num_bits = self.num_bits
+        for __ in range(self.num_hashes):
+            pos = h % num_bits
+            bits[pos >> 3] |= 1 << (pos & 7)
+            h = (h + delta) & _MASK64
 
     def may_contain(self, key: bytes) -> bool:
-        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+        h = _FNV_OFFSET
+        for byte in key:
+            h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+        delta = ((h >> 33) | (h << 31)) & _MASK64 | 1
+        bits = self._bits
+        num_bits = self.num_bits
+        for __ in range(self.num_hashes):
+            pos = h % num_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h = (h + delta) & _MASK64
+        return True
 
     def memory_bytes(self) -> int:
         return len(self._bits)

@@ -46,8 +46,9 @@ class LRUCache(Generic[K, V]):
             self.used_bytes -= old[1]
         self._entries[key] = (value, nbytes)
         self.used_bytes += nbytes
+        popitem = self._entries.popitem
         while self.used_bytes > self.capacity_bytes:
-            __, (___, size) = self._entries.popitem(last=False)
+            __, (___, size) = popitem(last=False)
             self.used_bytes -= size
             self.evictions += 1
 

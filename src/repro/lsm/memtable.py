@@ -52,7 +52,8 @@ class MemTable:
 
     def _random_level(self) -> int:
         level = 1
-        while level < _MAX_LEVEL and self._rng.random() < 0.25:
+        rand = self._rng.random
+        while level < _MAX_LEVEL and rand() < 0.25:
             level += 1
         return level
 
@@ -61,9 +62,11 @@ class MemTable:
         node = self._head
         hops = 0
         for lvl in range(self._level - 1, -1, -1):
-            while node.forward[lvl] is not None and node.forward[lvl].key < key:
-                node = node.forward[lvl]
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
                 hops += 1
+                nxt = node.forward[lvl]
             update[lvl] = node
         candidate = node.forward[0]
         if candidate is not None and candidate.key == key:
@@ -86,9 +89,11 @@ class MemTable:
         node = self._head
         hops = 0
         for lvl in range(self._level - 1, -1, -1):
-            while node.forward[lvl] is not None and node.forward[lvl].key < key:
-                node = node.forward[lvl]
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
                 hops += 1
+                nxt = node.forward[lvl]
         candidate = node.forward[0]
         self._charge(hops + 1)
         if candidate is not None and candidate.key == key:
@@ -100,8 +105,10 @@ class MemTable:
         node = self._head
         if start is not None:
             for lvl in range(self._level - 1, -1, -1):
-                while node.forward[lvl] is not None and node.forward[lvl].key < start:
-                    node = node.forward[lvl]
+                nxt = node.forward[lvl]
+                while nxt is not None and nxt.key < start:
+                    node = nxt
+                    nxt = node.forward[lvl]
         node = node.forward[0]
         while node is not None:
             yield node.key, node.value

@@ -9,7 +9,9 @@ LSM design the paper selects as its disk-friendly Index Y.
 
 from __future__ import annotations
 
-import bisect
+import math
+from bisect import bisect_left, bisect_right
+from struct import Struct
 from typing import Iterator, Optional
 
 from repro.lsm.bloom import BloomFilter
@@ -21,33 +23,38 @@ from repro.sim.disk import SimDisk
 _KLEN_BYTES = 2
 _VLEN_BYTES = 4
 
+#: key length(2) + value length(4), big-endian — same wire format as the
+#: original per-field ``int.to_bytes`` encoding.
+_ENTRY_HEADER = Struct(">HI")
+
 
 def encode_block(entries: list[tuple[bytes, bytes]]) -> bytes:
     """Serialize entries as length-prefixed key/value records."""
     parts: list[bytes] = []
+    append = parts.append
+    pack = _ENTRY_HEADER.pack
     for key, value in entries:
-        parts.append(len(key).to_bytes(_KLEN_BYTES, "big"))
-        parts.append(len(value).to_bytes(_VLEN_BYTES, "big"))
-        parts.append(key)
-        parts.append(value)
+        append(pack(len(key), len(value)))
+        append(key)
+        append(value)
     return b"".join(parts)
 
 
 def decode_block(blob: bytes) -> list[tuple[bytes, bytes]]:
     """Invert :func:`encode_block`."""
     entries: list[tuple[bytes, bytes]] = []
+    append = entries.append
+    unpack = _ENTRY_HEADER.unpack_from
     pos = 0
     end = len(blob)
     while pos < end:
-        klen = int.from_bytes(blob[pos : pos + _KLEN_BYTES], "big")
-        pos += _KLEN_BYTES
-        vlen = int.from_bytes(blob[pos : pos + _VLEN_BYTES], "big")
-        pos += _VLEN_BYTES
+        klen, vlen = unpack(blob, pos)
+        pos += 6
         key = blob[pos : pos + klen]
         pos += klen
         value = blob[pos : pos + vlen]
         pos += vlen
-        entries.append((key, value))
+        append((key, value))
     return entries
 
 
@@ -150,7 +157,7 @@ class SSTable:
     # ------------------------------------------------------------------
     def _block_index_for(self, key: bytes) -> int:
         """Index of the block that could contain ``key``."""
-        i = bisect.bisect_right(self._block_first_keys, key) - 1
+        i = bisect_right(self._block_first_keys, key) - 1
         return max(i, 0)
 
     def _load_block(
@@ -185,11 +192,9 @@ class SSTable:
         index = self._block_index_for(key)
         entries = self._load_block(index, block_cache)
         if clock is not None:
-            import math
-
             comparisons = max(1, int(math.log2(len(entries) + 1)))
             clock.charge_cpu(costs.compare_cost(comparisons) + costs.hash_probe)
-        i = bisect.bisect_left(entries, (key, b""))
+        i = bisect_left(entries, (key, b""))
         if i < len(entries) and entries[i][0] == key:
             return entries[i][1]
         return None
@@ -212,8 +217,9 @@ class SSTable:
     # ------------------------------------------------------------------
     def free(self) -> None:
         """Release the table's disk extents (after compaction)."""
+        free_extent = self._disk.free
         for offset in self._block_offsets:
-            self._disk.free(offset)
+            free_extent(offset)
 
     def overlaps(self, other: "SSTable") -> bool:
         return self.min_key <= other.max_key and other.min_key <= self.max_key

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -194,6 +195,7 @@ class LSMStore:
 
         if merged:
             out_budget = max(self.config.level1_bytes, self.config.memtable_bytes * 4)
+            bump = self.stats.bump
             for chunk in self._chunk_pairs(merged, out_budget):
                 table = SSTable.build(
                     next(self._table_ids),
@@ -206,7 +208,7 @@ class LSMStore:
                     background=True,
                 )
                 self.levels[level + 1].append(table)
-                self.stats.bump("compaction_bytes_written", table.data_bytes)
+                bump("compaction_bytes_written", table.data_bytes)
             self.levels[level + 1].sort(key=lambda t: t.min_key)
 
     def _is_bottom(self, level: int) -> bool:
@@ -215,17 +217,36 @@ class LSMStore:
     def _merge_tables(
         self, newer: list[SSTable], older: list[SSTable], drop_tombstones: bool
     ) -> list[tuple[bytes, bytes]]:
-        """Newest-wins merge of complete tables (no caches: one-shot reads)."""
-        merged: dict[bytes, bytes] = {}
-        # Oldest first so newer entries overwrite.
-        for table in list(reversed(older)) + list(reversed(newer)):
-            for key, value in table.iter_all():
-                merged[key] = value
+        """Newest-wins ``heapq.merge`` of complete tables (no caches).
+
+        Each table is still read in full, oldest table first, before any
+        merging happens — the simulated disk classifies sequential vs.
+        random I/O by request order, so the read schedule (and with it the
+        simulated cost) must not depend on how the merge interleaves keys.
+        The k-way merge then runs purely in memory over the sorted runs.
+        """
+        runs = [list(t.iter_all()) for t in list(reversed(older)) + list(reversed(newer))]
+
+        def tag(run: list[tuple[bytes, bytes]], seq: int) -> Iterator[tuple[bytes, int, bytes]]:
+            # A function (not a nested genexp) so ``seq`` is bound per run.
+            return ((k, seq, v) for k, v in run)
+
+        # Ties sort by run sequence (oldest run first), so the last entry
+        # seen for a key is the newest — it overwrites in place.
+        items: list[tuple[bytes, bytes]] = []
+        last_key: bytes | None = None
+        for key, __, value in heapq.merge(
+            *(tag(run, seq) for seq, run in enumerate(runs))
+        ):
+            if key == last_key:
+                items[-1] = (key, value)
+            else:
+                items.append((key, value))
+                last_key = key
         if self.clock is not None:
             self.clock.charge_background(
-                self.costs.compare_cost(len(merged)) + self.costs.copy_cost(len(merged) * 16)
+                self.costs.compare_cost(len(items)) + self.costs.copy_cost(len(items) * 16)
             )
-        items = sorted(merged.items())
         if drop_tombstones:
             items = [(k, v) for k, v in items if v != TOMBSTONE]
         return items
@@ -280,12 +301,10 @@ class LSMStore:
             self.row_cache.put(key, value, len(key) + len(value) + 16)
 
     def _find_table(self, level: int, key: bytes) -> Optional[SSTable]:
-        import bisect
-
         tables = self.levels[level]
         if not tables:
             return None
-        i = bisect.bisect_right([t.min_key for t in tables], key) - 1
+        i = bisect_right([t.min_key for t in tables], key) - 1
         if i < 0:
             return None
         table = tables[i]

@@ -9,30 +9,48 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 
+class _CountMap(dict[str, float]):
+    """A ``dict`` whose missing keys read as zero (without inserting).
+
+    The zero is an ``int`` on purpose: counters bumped by integer amounts
+    must stay integers so snapshots serialize as ``1``, not ``1.0``.
+    """
+
+    __slots__ = ()
+
+    def __missing__(self, key: str) -> float:
+        return 0
+
+
 class StatCounters:
     """A bag of named numeric counters.
 
     Unknown names read as zero, so callers never have to pre-register the
     counters they bump.  ``snapshot``/``delta`` support the chunked sampling
     the figure benchmarks use (throughput per slice of a long run).
+
+    Backed by a zero-defaulting dict subclass so the (very hot) ``bump``
+    is a single ``+=`` rather than a get/put pair.
     """
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
-        self._counts: dict[str, float] = {}
+        self._counts: _CountMap = _CountMap()
 
     def bump(self, name: str, amount: float = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        self._counts[name] += amount
 
     def record_max(self, name: str, value: float) -> None:
         """Keep the running maximum of a gauge (queue depths, peaks)."""
-        if value > self._counts.get(name, 0):
+        if value > self._counts[name]:
             self._counts[name] = value
 
     def get(self, name: str) -> float:
-        return self._counts.get(name, 0)
+        return self._counts[name]
 
     def __getitem__(self, name: str) -> float:
-        return self._counts.get(name, 0)
+        return self._counts[name]
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._counts)
@@ -50,15 +68,16 @@ class StatCounters:
         return out
 
     def merge(self, other: "StatCounters") -> None:
+        counts = self._counts
         for name, value in other._counts.items():
-            self._counts[name] = self._counts.get(name, 0) + value
+            counts[name] += value
 
     def reset(self) -> None:
         self._counts.clear()
 
     def restore(self, snapshot: dict[str, float]) -> None:
         """Reset the counters to a prior ``snapshot()`` (observer rollback)."""
-        self._counts = dict(snapshot)
+        self._counts = _CountMap(snapshot)
 
     def as_dict(self) -> dict[str, float]:
         return dict(self._counts)

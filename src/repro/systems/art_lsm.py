@@ -52,9 +52,35 @@ class ArtLsmSystem(KVSystem):
         self._op()
         self.index.insert(self.encode_key(key), value)
 
+    def put_many(self, keys, value: bytes) -> None:
+        # Same per-key charge sequence as insert(), locals hoisted.
+        charge = self.clock.charge_cpu
+        overhead = self.costs.op_overhead
+        bump = self.stats.bump
+        encode = self.encode_key
+        insert = self.index.insert
+        for key in keys:
+            charge(overhead)
+            bump("ops")
+            insert(encode(key), value)
+
     def read(self, key: int) -> Optional[bytes]:
         self._op()
         return self.index.get(self.encode_key(key))
+
+    def get_many(self, keys) -> list[Optional[bytes]]:
+        charge = self.clock.charge_cpu
+        overhead = self.costs.op_overhead
+        bump = self.stats.bump
+        encode = self.encode_key
+        get = self.index.get
+        out: list[Optional[bytes]] = []
+        append = out.append
+        for key in keys:
+            charge(overhead)
+            bump("ops")
+            append(get(encode(key)))
+        return out
 
     def delete(self, key: int) -> bool:
         self._op()

@@ -11,7 +11,7 @@ operations per simulated second via :meth:`Snapshot.throughput_ops`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.art.keys import encode_int
 from repro.sim.costs import CostModel
@@ -101,6 +101,22 @@ class KVSystem:
     def read_modify_write(self, key: int, value: bytes) -> None:
         self.read(key)
         self.update(key, value)
+
+    # -- batched operations ----------------------------------------------
+    # The batch paths exist for wall-clock reasons only: they perform the
+    # exact per-key operation sequence (same simulated charges, same
+    # order) while amortizing Python dispatch.  Subclasses override them
+    # to hoist their per-op attribute lookups out of the loop.
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
+        """Insert ``value`` under every key in ``keys``."""
+        insert = self.insert
+        for key in keys:
+            insert(key, value)
+
+    def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
+        """Point-read every key in ``keys``; returns the values in order."""
+        read = self.read
+        return [read(key) for key in keys]
 
     def flush(self) -> None:
         """Persist everything (end-of-run checkpoint)."""

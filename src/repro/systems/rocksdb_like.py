@@ -57,11 +57,43 @@ class RocksDbLikeSystem(KVSystem):
         self.store.put(self.encode_key(key), value)
         self._sanitize()
 
+    def put_many(self, keys, value: bytes) -> None:
+        # Same per-key charge sequence as insert(), locals hoisted.
+        charge = self.clock.charge_cpu
+        overhead = self.costs.op_overhead
+        bump = self.stats.bump
+        encode = self.encode_key
+        put = self.store.put
+        sanitizer = self.sanitizer
+        for key in keys:
+            charge(overhead)
+            bump("ops")
+            put(encode(key), value)
+            if sanitizer is not None:
+                sanitizer.after_op()
+
     def read(self, key: int) -> Optional[bytes]:
         self._op()
         value = self.store.get(self.encode_key(key))
         self._sanitize()
         return value
+
+    def get_many(self, keys) -> list[Optional[bytes]]:
+        charge = self.clock.charge_cpu
+        overhead = self.costs.op_overhead
+        bump = self.stats.bump
+        encode = self.encode_key
+        get = self.store.get
+        sanitizer = self.sanitizer
+        out: list[Optional[bytes]] = []
+        append = out.append
+        for key in keys:
+            charge(overhead)
+            bump("ops")
+            append(get(encode(key)))
+            if sanitizer is not None:
+                sanitizer.after_op()
+        return out
 
     def delete(self, key: int) -> bool:
         self._op()

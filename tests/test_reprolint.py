@@ -174,6 +174,96 @@ def test_rl006_quiet_on_immutable_defaults():
     assert lint(src) == []
 
 
+# -- RL007: hot-path overhead -------------------------------------------
+
+HOT = "src/repro/art/fixture.py"
+
+
+def test_rl007_fires_on_function_local_import_in_hot_module():
+    src = """
+    def f():
+        import bisect
+        from struct import Struct
+    """
+    assert rules_of(lint(src, path=HOT)) == ["RL007", "RL007"]
+
+
+def test_rl007_quiet_on_module_level_import_in_hot_module():
+    assert lint("import bisect\nfrom struct import Struct\n", path=HOT) == []
+
+
+def test_rl007_quiet_on_function_local_import_outside_hot_modules():
+    src = """
+    def f():
+        import bisect
+    """
+    assert lint(src) == []
+
+
+def test_rl007_fires_on_self_chain_call_in_loop():
+    src = """
+    def f(self, keys):
+        for key in keys:
+            self.clock.charge_cpu(10)
+        while self.stats.get("ops") < 10:
+            pass
+    """
+    assert rules_of(lint(src, path=HOT)) == ["RL007", "RL007"]
+
+
+def test_rl007_quiet_on_hoisted_local_in_loop():
+    src = """
+    def f(self, keys):
+        charge = self.clock.charge_cpu
+        for key in keys:
+            charge(10)
+    """
+    assert lint(src, path=HOT) == []
+
+
+def test_rl007_quiet_on_chain_call_outside_loop():
+    assert lint("def f(self):\n    self.clock.charge_cpu(10)\n", path=HOT) == []
+
+
+def test_rl007_quiet_on_non_self_chain_in_loop():
+    # A chain rooted at the loop variable is not loop-invariant and
+    # usually cannot be hoisted.
+    src = """
+    def f(self, nodes):
+        for node in nodes:
+            node.prefix.find(0)
+    """
+    assert lint(src, path=HOT) == []
+
+
+def test_rl007_quiet_on_for_iterator_expression():
+    # The iterator expression evaluates once, not per iteration.
+    src = """
+    def f(self):
+        for name, value in self.counts.items():
+            use(name, value)
+    """
+    assert lint(src, path=HOT) == []
+
+
+def test_rl007_quiet_outside_hot_modules():
+    src = """
+    def f(self, keys):
+        for key in keys:
+            self.clock.charge_cpu(10)
+    """
+    assert lint(src) == []
+
+
+def test_rl007_pragma_suppresses():
+    src = """
+    def f(self, keys):
+        for key in keys:
+            self.clock.charge_cpu(10)  # reprolint: allow[RL007]
+    """
+    assert lint(src, path=HOT) == []
+
+
 # -- pragma suppression --------------------------------------------------
 
 
