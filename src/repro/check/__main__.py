@@ -2,22 +2,91 @@
 
 Runs the reprolint AST rules over the given files/directories (default:
 the installed ``repro`` package source) and exits non-zero when any
-finding survives the inline pragmas.
+finding survives the inline pragmas.  ``--deep`` adds the RL1xx
+CFG/dataflow/call-graph rules (see :mod:`repro.check.deepcheck`);
+``--format json|sarif`` emits machine-readable output for CI upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+# Wall-clock only: measures the analyzer's own runtime for the CI budget
+# gate; no simulated component ever sees this clock.
+import time  # reprolint: allow[RL004]
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.check.reprolint import RULES, lint_paths
+from repro.check.deepcheck import DEEP_RULES, deep_lint_paths
+from repro.check.reprolint import RULES, Finding, lint_paths
+
+#: SARIF 2.1.0 is the smallest schema GitHub code scanning ingests.
+_SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
 
 
 def _default_target() -> Path:
     # .../src/repro/check/__main__.py -> .../src/repro
     return Path(__file__).resolve().parents[1]
+
+
+def _as_json(findings: list[Finding]) -> str:
+    payload = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "rule": f.rule,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def _as_sarif(findings: list[Finding]) -> str:
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in (*RULES, *DEEP_RULES)
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line, "startColumn": max(1, f.col)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.check",
+                        "informationUri": "https://example.invalid/repro-check",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -35,11 +104,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the RL1xx CFG/dataflow/call-graph rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail (exit 3) if the analysis itself takes longer than S wall seconds",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.rule_id}  {rule.name:<18} {rule.summary}")
+        for rule in (*RULES, *DEEP_RULES):
+            print(f"{rule.rule_id}  {rule.name:<28} {rule.summary}")
         return 0
 
     targets = [Path(p) for p in args.paths] if args.paths else [_default_target()]
@@ -49,13 +136,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: no such path: {target}", file=sys.stderr)
         return 2
 
+    started = time.monotonic()
     findings = lint_paths(targets)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    if args.deep:
+        findings = findings + deep_lint_paths(targets)
+    elapsed = time.monotonic() - started
+
+    if args.format == "json":
+        print(_as_json(findings))
+    elif args.format == "sarif":
+        print(_as_sarif(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        print(
+            f"error: analysis took {elapsed:.2f}s, over the "
+            f"{args.budget_seconds:.2f}s budget",
+            file=sys.stderr,
+        )
+        return 3
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,280 @@
+"""A project-wide call graph over the ``repro`` package source.
+
+The graph links every function/method definition under the analyzed tree
+to the definitions its call sites may invoke.  Resolution is name-based
+and deliberately over-approximate (sound for reachability queries like
+RL101, which asks "can a foreground entry point *possibly* reach a
+maintenance routine inline?"):
+
+* ``f(...)`` — the module's own ``f``, or the ``f`` imported with
+  ``from mod import f`` (resolved cross-module when ``mod`` is inside the
+  analyzed tree); a bare name that a reaching local assignment bound to a
+  method (``run = self._run; run()``) resolves to that method.
+* ``self.m(...)`` / ``cls.m(...)`` — method ``m`` on the enclosing class,
+  then on its project-local base classes.
+* ``obj.m(...)`` / ``self.attr.m(...)`` — *duck resolution*: every
+  project definition of a method named ``m`` (the receiver's type is
+  unknown statically; linking all candidates over-approximates, never
+  misses).  Methods reserved to one class by the shallow rules (e.g. the
+  maintenance entry points) have project-unique names, so the deep rules
+  stay precise where it matters.
+* Plain class instantiation ``C(...)`` links to ``C.__init__``.
+
+What the graph does **not** model: calls through values stored in
+containers, ``getattr`` strings, and callables passed as arguments (a
+runner registered with the :class:`~repro.sim.runtime.BackgroundScheduler`
+is *not* an edge — which is exactly the property RL101 exploits: work
+routed through the scheduler seam disappears from the inline call graph).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.cfg import FunctionNode, iter_function_defs
+from repro.check.reprolint import module_rel_path
+
+__all__ = ["FunctionInfo", "CallSite", "CallGraph", "build_callgraph", "parse_tree"]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the analyzed tree."""
+
+    key: str  # "<rel>::Class.name" or "<rel>::name"
+    rel: str  # path relative to the package root, e.g. "core/indexy.py"
+    class_name: str | None
+    name: str
+    node: FunctionNode = field(compare=False, hash=False)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: ``caller`` invokes ``callee`` at ``call``."""
+
+    caller: str
+    callee: str
+    call: ast.Call = field(compare=False, hash=False)
+
+
+def parse_tree(paths: dict[str, str]) -> dict[str, ast.Module]:
+    """Parse ``rel path -> source`` into ``rel path -> module AST``."""
+    return {rel: ast.parse(src, filename=rel) for rel, src in paths.items()}
+
+
+def _attr_chain(expr: ast.expr) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``, or None if not a plain chain."""
+    parts: list[str] = []
+    cur = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    parts.reverse()
+    return parts
+
+
+class CallGraph:
+    """Function index plus resolved call edges; see the module docstring."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.edges: dict[str, list[CallSite]] = {}
+        #: method/function name -> every definition key with that name.
+        self.by_name: dict[str, list[str]] = {}
+        #: class name -> {method name -> key}; class name -> base names.
+        self._methods: dict[str, dict[str, str]] = {}
+        self._bases: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def callees(self, key: str) -> list[CallSite]:
+        return self.edges.get(key, [])
+
+    def resolve_method(self, class_name: str, method: str) -> str | None:
+        """``class_name.method`` with project-local MRO walk."""
+        seen: set[str] = set()
+        stack = [class_name]
+        while stack:
+            cls = stack.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            found = self._methods.get(cls, {}).get(method)
+            if found is not None:
+                return found
+            stack.extend(self._bases.get(cls, []))
+        return None
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        """Keys of every function reachable from ``roots`` via call edges."""
+        seen = set(roots)
+        stack = list(roots)
+        while stack:
+            here = stack.pop()
+            for site in self.edges.get(here, ()):
+                if site.callee not in seen:
+                    seen.add(site.callee)
+                    stack.append(site.callee)
+        return seen
+
+
+class _ModuleIndexer:
+    """First pass: collect definitions, imports, and class shapes."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        #: rel -> {local name -> target module-or-function key hint}
+        self.imports: dict[str, dict[str, str]] = {}
+
+    def index(self, rel: str, tree: ast.Module) -> None:
+        graph = self.graph
+        for cls_name, func in iter_function_defs(tree):
+            qual = f"{cls_name}.{func.name}" if cls_name else func.name
+            key = f"{rel}::{qual}"
+            info = FunctionInfo(key, rel, cls_name, func.name, func)
+            graph.functions[key] = info
+            graph.by_name.setdefault(func.name, []).append(key)
+            if cls_name:
+                graph._methods.setdefault(cls_name, {}).setdefault(func.name, key)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = []
+                for base in node.bases:
+                    chain = _attr_chain(base)
+                    if chain:
+                        bases.append(chain[-1])
+                graph._bases[node.name] = bases
+        local: dict[str, str] = {}
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local[alias.asname or alias.name] = alias.name
+        self.imports[rel] = local
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Second pass: resolve the call sites of one function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        imported: dict[str, str],
+        local_aliases: dict[str, str],
+    ) -> None:
+        self.graph = graph
+        self.info = info
+        self.imported = imported
+        self.local_aliases = local_aliases
+        self.sites: list[CallSite] = []
+
+    # Nested defs are indexed as their own functions; don't descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for callee in self._resolve(node):
+            self.sites.append(CallSite(self.info.key, callee, node))
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.Call) -> list[str]:
+        graph = self.graph
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = self.local_aliases.get(func.id, func.id)
+            # Same-module function or method of the enclosing class's module.
+            direct = f"{self.info.rel}::{name}"
+            if direct in graph.functions:
+                return [direct]
+            # Imported name (cross-module).
+            target = self.imported.get(func.id)
+            if target is not None:
+                hits = [
+                    key for key in graph.by_name.get(target, []) if "." not in key.split("::")[1]
+                ]
+                if hits:
+                    return hits
+            # Class instantiation -> __init__.
+            init = graph.resolve_method(name, "__init__")
+            if init is not None:
+                return [init]
+            # Bound-alias name: resolved by local_aliases above when the
+            # alias mapped to a method name.
+            method = graph.resolve_method(self.info.class_name or "", name)
+            if method is not None and name != func.id:
+                return [method]
+            if name != func.id:
+                return [k for k in graph.by_name.get(name, [])]
+            return []
+        chain = _attr_chain(func)
+        if chain is None:
+            return []
+        method_name = chain[-1]
+        if chain[0] in ("self", "cls") and len(chain) == 2 and self.info.class_name:
+            found = graph.resolve_method(self.info.class_name, method_name)
+            if found is not None:
+                return [found]
+        # Duck resolution: any project definition with this method name.
+        return [
+            key
+            for key in graph.by_name.get(method_name, [])
+            if graph.functions[key].class_name is not None
+        ]
+
+
+def _bound_aliases(func: FunctionNode) -> dict[str, str]:
+    """Local ``name = self.method`` / ``name = obj.method`` bindings.
+
+    A later bare call through the name resolves to the method.  The scan is
+    flow-insensitive (any binding in the function counts) — the def-use
+    layer exists for rules that need flow precision; the call graph only
+    needs may-call edges.
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(node.value, ast.Attribute):
+                chain = _attr_chain(node.value)
+                if chain is not None and len(chain) >= 2:
+                    out[target.id] = chain[-1]
+    return out
+
+
+def build_callgraph(trees: dict[str, ast.Module]) -> CallGraph:
+    """Build the call graph of ``rel path -> module AST``."""
+    graph = CallGraph()
+    indexer = _ModuleIndexer(graph)
+    for rel, tree in sorted(trees.items()):
+        indexer.index(rel, tree)
+    for key, info in graph.functions.items():
+        aliases = _bound_aliases(info.node)
+        collector = _CallCollector(graph, info, indexer.imports.get(info.rel, {}), aliases)
+        for stmt in info.node.body:
+            collector.visit(stmt)
+        graph.edges[key] = collector.sites
+    return graph
+
+
+def load_sources(paths: list[Path]) -> dict[str, str]:
+    """Read every ``*.py`` under ``paths`` keyed by package-relative path."""
+    out: dict[str, str] = {}
+    for entry in paths:
+        if entry.is_dir():
+            files = sorted(entry.rglob("*.py"))
+        else:
+            files = [entry]
+        for file in files:
+            if "tests" in file.parts:
+                continue
+            out[module_rel_path(file)] = file.read_text(encoding="utf-8")
+    return out

@@ -52,7 +52,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
-__all__ = ["Finding", "Rule", "RULES", "lint_source", "lint_paths", "module_rel_path"]
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "allowed_rules",
+    "lint_source",
+    "lint_paths",
+    "module_rel_path",
+]
 
 
 @dataclass(frozen=True)
@@ -398,8 +406,13 @@ class _Visitor(ast.NodeVisitor):
         self._func_depth -= 1
 
 
-def _allowed_rules(line: str) -> frozenset[str] | None:
-    """Rule ids the line's pragma allows, or None when there is no pragma."""
+def allowed_rules(line: str) -> frozenset[str] | None:
+    """Rule ids the line's pragma allows, or None when there is no pragma.
+
+    Shared by the shallow rules here and the deep RL1xx rules in
+    :mod:`repro.check.deepcheck` — one ``# reprolint: allow[...]`` pragma
+    grammar suppresses findings from either layer.
+    """
     match = _PRAGMA_RE.search(line)
     if match is None:
         return None
@@ -421,7 +434,7 @@ def lint_source(source: str, path: str | Path) -> list[Finding]:
     findings: list[Finding] = []
     for line, col, rule, message in sorted(visitor.findings):
         text = lines[line - 1] if 0 < line <= len(lines) else ""
-        allowed = _allowed_rules(text)
+        allowed = allowed_rules(text)
         if allowed is not None and (rule in allowed or "*" in allowed):
             continue
         findings.append(Finding(str(path), line, col, rule, message))

@@ -25,7 +25,7 @@ and per-task accounting are uniform across layers.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.config import IndeXYConfig
 from repro.core.interfaces import IndexX, IndexY
@@ -33,7 +33,7 @@ from repro.core.membudget import MemoryBudget
 from repro.core.precleaner import PreCleaner
 from repro.core.release import ReleasePolicy
 from repro.sim.clock import SimClock
-from repro.sim.runtime import EngineRuntime
+from repro.sim.runtime import EngineRuntime, MaintenanceTask
 
 
 class IndeXY:
@@ -92,7 +92,7 @@ class IndeXY:
         #: pre-cleaning is the paced task: one pass per
         #: ``preclean_interval_inserts`` scheduler ticks, exactly the
         #: paper's insert-count timer.
-        self._preclean_task = None
+        self._preclean_task: Optional[MaintenanceTask] = None
         if precleaning_enabled:
             self._preclean_task = scheduler.register(
                 "preclean",
@@ -107,7 +107,7 @@ class IndeXY:
         #: and flush hook points; any violation raises
         #: :class:`~repro.check.sanitizer.CheckError`.  Imported lazily so
         #: production runs never load the check package.
-        self.sanitizer = None
+        self.sanitizer: Optional[Any] = None
         if debug_checks:
             from repro.check.sanitizer import CheckBackAuditor, IndexSanitizer
 

@@ -37,7 +37,7 @@ class SubtreeRef(Protocol):
     """A detachable subtree: the node plus its ancestor context."""
 
     @property
-    def node(self): ...
+    def node(self) -> SubtreeNode: ...
 
 
 class IndexX(Protocol):

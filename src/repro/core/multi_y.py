@@ -27,10 +27,10 @@ standalone routers migrate inline.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core.interfaces import IndexY
-from repro.sim.runtime import EngineRuntime
+from repro.sim.runtime import EngineRuntime, MaintenanceTask
 from repro.sim.stats import StatCounters
 
 
@@ -117,7 +117,7 @@ class RoutedIndexY:
         #: backends with nothing in range (and migrations update it).
         self._holders: defaultdict[bytes, set[str]] = defaultdict(set)
         self._scheduler = runtime.scheduler if runtime is not None else None
-        self._migration_task = None
+        self._migration_task: Optional[MaintenanceTask] = None
         if self._scheduler is not None:
             self._migration_task = self._scheduler.register(
                 "rehome_migration",
@@ -268,7 +268,9 @@ class RoutedIndexY:
 
         ordering = list(per_backend)
 
-        def tagged(name, results):
+        def tagged(
+            name: str, results: list[tuple[bytes, bytes]]
+        ) -> Iterator[tuple[bytes, int, str, bytes]]:
             # Bind name/results per stream (generator late-binding hazard).
             rank = ordering.index(name)
             return ((key, rank, name, value) for key, value in results)

@@ -32,8 +32,10 @@ cleaner outside a runtime.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 from repro.core.config import IndeXYConfig
-from repro.core.interfaces import IndexX, IndexY
+from repro.core.interfaces import IndexX, IndexY, SubtreeNode, SubtreeRef
 from repro.sim.stats import StatCounters
 
 
@@ -64,14 +66,14 @@ class PreCleaner:
         #: observer of every C-bit transition (set by IndeXY when
         #: ``debug_checks`` is enabled; duck-typed to keep core free of a
         #: check dependency).
-        self.auditor = None
+        self.auditor: Optional[Any] = None
 
-    def _set_candidate(self, node) -> None:
+    def _set_candidate(self, node: SubtreeNode) -> None:
         node.clean_candidate = True
         if self.auditor is not None:
             self.auditor.note_set(node)
 
-    def _clear_candidate(self, node) -> None:
+    def _clear_candidate(self, node: SubtreeNode) -> None:
         node.clean_candidate = False
         if self.auditor is not None:
             self.auditor.note_clear(node)
@@ -85,7 +87,7 @@ class PreCleaner:
             self._insert_timer = 0
             self.run_pass()
 
-    def _region_list(self):
+    def _region_list(self) -> list[SubtreeRef]:
         """The inner-node list, at an adaptively chosen level.
 
         The paper adjusts the list's tree level so each key region is
@@ -182,7 +184,7 @@ class PreCleaner:
             self._cursor = start
         return cleaned_any
 
-    def _clean(self, ref) -> int:
+    def _clean(self, ref: SubtreeRef) -> int:
         """Write the region's dirty keys to Y and mark the subtree clean.
 
         Returns the number of keys written.

@@ -27,7 +27,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
-from repro.core.interfaces import IndexX, SubtreeRef
+from repro.core.interfaces import IndexX, SubtreeNode, SubtreeRef
 
 
 @dataclass
@@ -39,7 +39,7 @@ class _Candidate:
     density: float
 
 
-def _density(node) -> float:
+def _density(node: SubtreeNode) -> float:
     keys = max(1, node.leaf_count)
     return node.access_count / keys
 

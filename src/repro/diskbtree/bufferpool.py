@@ -169,8 +169,8 @@ class BufferPool:
 
     def drop_page(self, pid: int) -> None:
         """Discard a page that the tree freed (no write-back)."""
-        frame = self._frames.pop(pid, None)
-        if frame is not None:
+        if pid in self._frames:
+            frame = self._frames.pop(pid)
             if frame.dirty:
                 self._dirty_count -= 1
             self._clock_order.remove(pid)
@@ -260,7 +260,9 @@ class BufferPool:
         if not self._writeback_needed():
             return
         if self._writeback_task is None:
-            self._proactive_writeback_pass()
+            # Standalone pool (no runtime): there is no scheduler to route
+            # through, so the batch flush runs inline by design.
+            self._proactive_writeback_pass()  # reprolint: allow[RL101]
             return
         if self._scheduler.saturated(self._writeback_task):
             self.stats.bump("writeback_inline_fallbacks")

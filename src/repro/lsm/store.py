@@ -93,6 +93,11 @@ class LSMStore:
         #: levels[0] is newest-first and may overlap; levels[n>=1] are
         #: sorted by min_key and disjoint.
         self.levels: list[list[SSTable]] = [[] for __ in range(self.config.max_levels)]
+        #: per-level ``[t.min_key for t in tables]`` memo for the read
+        #: path's bisect; invalidated whenever the level's table list
+        #: changes.  Pure wall-clock: the bisect sees the same list either
+        #: way, so simulated results are untouched.
+        self._min_keys: list[Optional[list[bytes]]] = [None] * self.config.max_levels
         self.block_cache = LRUCache(self.config.block_cache_bytes)
         self.row_cache = (
             LRUCache(self.config.row_cache_bytes) if self.config.row_cache_bytes else None
@@ -135,6 +140,7 @@ class LSMStore:
             background=True,
         )
         self.levels[0].insert(0, table)
+        self._min_keys[0] = None
         self._memtable = self._new_memtable()
         self.stats.bump("flushes")
         self.stats.bump("flush_bytes", table.data_bytes)
@@ -157,7 +163,9 @@ class LSMStore:
         keeps level budgets bounded under write bursts.
         """
         if self._compaction_task is None:
-            self._maybe_compact()
+            # Standalone store (no runtime): there is no scheduler to route
+            # through, so compaction runs inline by design.
+            self._maybe_compact()  # reprolint: allow[RL101]
             return
         if self._scheduler.saturated(self._compaction_task):
             self.stats.bump("compaction_inline_fallbacks")
@@ -185,6 +193,8 @@ class LSMStore:
         lower = [t for t in self.levels[level + 1] if t.overlaps_range(low, high)]
 
         merged = self._merge_tables(upper, lower, drop_tombstones=self._is_bottom(level + 1))
+        self._min_keys[level] = None
+        self._min_keys[level + 1] = None
         for table in upper:
             self.levels[level].remove(table)
             table.free()
@@ -304,7 +314,10 @@ class LSMStore:
         tables = self.levels[level]
         if not tables:
             return None
-        i = bisect_right([t.min_key for t in tables], key) - 1
+        min_keys = self._min_keys[level]
+        if min_keys is None:
+            min_keys = self._min_keys[level] = [t.min_key for t in tables]
+        i = bisect_right(min_keys, key) - 1
         if i < 0:
             return None
         table = tables[i]
@@ -330,12 +343,18 @@ class LSMStore:
                 if table.max_key >= start:
                     sources.append(table.iter_from(start, self.block_cache))
 
-        merged = heapq.merge(
-            *(
-                ((key, seq, value) for key, value in src)
-                for seq, src in enumerate(sources)
-            )
-        )
+        def tag(
+            src: Iterator[tuple[bytes, bytes]], seq: int
+        ) -> Iterator[tuple[bytes, int, bytes]]:
+            # A function (not a nested genexp) so ``seq`` is bound per
+            # source: a genexp here resolves ``seq`` late in the outer
+            # genexp's exhausted frame, so every lane tags with the final
+            # seq and key ties break on value *bytes* instead of recency —
+            # a stale TOMBSTONE (leading ``\\x00``) then shadows the
+            # memtable's fresh value and the scan silently drops the key.
+            return ((key, seq, value) for key, value in src)
+
+        merged = heapq.merge(*(tag(src, seq) for seq, src in enumerate(sources)))
         out: list[tuple[bytes, bytes]] = []
         last_key: Optional[bytes] = None
         for key, __, value in merged:

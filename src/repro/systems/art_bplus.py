@@ -7,7 +7,7 @@ few recently-read pages for spatial locality (Section II-D).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Optional
 
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.adapters import ARTIndexX
@@ -15,6 +15,7 @@ from repro.core.config import IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
 from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem
@@ -27,16 +28,16 @@ class _DiskBTreeAsY:
     def __init__(self, tree: DiskBPlusTree) -> None:
         self.tree = tree
 
-    def put_batch(self, pairs):
+    def put_batch(self, pairs: list[tuple[bytes, bytes]]) -> None:
         self.tree.put_batch(pairs)
 
-    def get(self, key: bytes):
+    def get(self, key: bytes) -> Optional[bytes]:
         return self.tree.get(key)
 
     def delete(self, key: bytes) -> None:
         self.tree.delete(key)
 
-    def scan(self, start: bytes, count: int):
+    def scan(self, start: bytes, count: int) -> list[tuple[bytes, bytes]]:
         return self.tree.scan(start, count)
 
     @property
@@ -44,7 +45,7 @@ class _DiskBTreeAsY:
         return self.tree.memory_bytes
 
     @property
-    def disk(self):
+    def disk(self) -> SimDisk:
         return self.tree.pool.disk
 
 
@@ -60,7 +61,7 @@ class ArtBPlusSystem(KVSystem):
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
-        **indexy_kwargs,
+        **indexy_kwargs: Any,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
         # Floor of 24 pages: the paper's 512 MB-of-5 GB transfer pool
@@ -81,7 +82,7 @@ class ArtBPlusSystem(KVSystem):
         self._op()
         self.index.insert(self.encode_key(key), value)
 
-    def put_many(self, keys, value: bytes) -> None:
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
         # Same per-key charge sequence as insert(), locals hoisted.
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
@@ -97,7 +98,7 @@ class ArtBPlusSystem(KVSystem):
         self._op()
         return self.index.get(self.encode_key(key))
 
-    def get_many(self, keys) -> list[Optional[bytes]]:
+    def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
         bump = self.stats.bump

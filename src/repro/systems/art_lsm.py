@@ -6,7 +6,7 @@ hot keys, a write-optimized log-structured store for the overflow.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Optional
 
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.adapters import ARTIndexX
@@ -30,7 +30,7 @@ class ArtLsmSystem(KVSystem):
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
-        **indexy_kwargs,
+        **indexy_kwargs: Any,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
         # Floors keep the transfer buffers useful at simulation scale:
@@ -52,7 +52,7 @@ class ArtLsmSystem(KVSystem):
         self._op()
         self.index.insert(self.encode_key(key), value)
 
-    def put_many(self, keys, value: bytes) -> None:
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
         # Same per-key charge sequence as insert(), locals hoisted.
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
@@ -68,7 +68,7 @@ class ArtLsmSystem(KVSystem):
         self._op()
         return self.index.get(self.encode_key(key))
 
-    def get_many(self, keys) -> list[Optional[bytes]]:
+    def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
         bump = self.stats.bump

@@ -8,7 +8,7 @@ a single suboptimal Index Y choice.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.adapters import ARTIndexX
@@ -36,7 +36,7 @@ class ArtMultiYSystem(KVSystem):
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
-        **indexy_kwargs,
+        **indexy_kwargs: Any,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
         lsm = LSMStore(

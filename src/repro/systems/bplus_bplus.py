@@ -13,7 +13,7 @@ structural behaviours the paper criticizes are real here:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Optional
 
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.sim.costs import CostModel
@@ -40,7 +40,7 @@ class BPlusBPlusSystem(KVSystem):
             page_size=page_size,
             runtime=self.runtime,
         )
-        self.sanitizer = None
+        self.sanitizer: Optional[Any] = None
         if debug_checks is None:
             from repro.check.flags import sanitize_enabled
 
@@ -48,12 +48,13 @@ class BPlusBPlusSystem(KVSystem):
         if debug_checks:
             from repro.check.sanitizer import (
                 StoreSanitizer,
+                Violation,
                 check_buffer_pool,
                 check_disk_btree,
                 check_no_leaked_pins,
             )
 
-            def checker():
+            def checker() -> list[Violation]:
                 return (
                     check_disk_btree(self.tree)
                     + check_no_leaked_pins(self.tree.pool)
@@ -71,7 +72,7 @@ class BPlusBPlusSystem(KVSystem):
         self.tree.put(self.encode_key(key), value)
         self._sanitize()
 
-    def put_many(self, keys, value: bytes) -> None:
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
         # Same per-key charge sequence as insert(), locals hoisted.
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
@@ -92,7 +93,7 @@ class BPlusBPlusSystem(KVSystem):
         self._sanitize()
         return value
 
-    def get_many(self, keys) -> list[Optional[bytes]]:
+    def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
         bump = self.stats.bump

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.sim.costs import CostModel
 from repro.sim.threads import ThreadModel
 from repro.systems.art_bplus import ArtBPlusSystem
@@ -22,7 +24,7 @@ def build_system(
     page_size: int = 4096,
     costs: CostModel | None = None,
     thread_model: ThreadModel | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> KVSystem:
     """Construct a configured system.
 

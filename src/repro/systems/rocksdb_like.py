@@ -8,7 +8,7 @@ go through the row/block caches rather than a memory-optimized index
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Optional
 
 from repro.lsm.store import LSMConfig, LSMStore
 from repro.sim.costs import CostModel
@@ -38,7 +38,7 @@ class RocksDbLikeSystem(KVSystem):
             row_cache_bytes=max(8 * 1024, memory_limit_bytes // 50),
         )
         self.store = LSMStore(config=config, runtime=self.runtime)
-        self.sanitizer = None
+        self.sanitizer: Optional[Any] = None
         if debug_checks is None:
             from repro.check.flags import sanitize_enabled
 
@@ -57,7 +57,7 @@ class RocksDbLikeSystem(KVSystem):
         self.store.put(self.encode_key(key), value)
         self._sanitize()
 
-    def put_many(self, keys, value: bytes) -> None:
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
         # Same per-key charge sequence as insert(), locals hoisted.
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
@@ -78,7 +78,7 @@ class RocksDbLikeSystem(KVSystem):
         self._sanitize()
         return value
 
-    def get_many(self, keys) -> list[Optional[bytes]]:
+    def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         charge = self.clock.charge_cpu
         overhead = self.costs.op_overhead
         bump = self.stats.bump

@@ -128,6 +128,25 @@ def test_scan_respects_overwrites(store):
     assert got[ikey(5)] == b"new"
 
 
+def test_scan_newest_version_wins_over_flushed_tombstone(store):
+    """Regression: a delete-then-reinsert across a flush boundary must scan.
+
+    The merge tags each source with a sequence number (lower = newer).  A
+    late-binding bug in the tagging genexp once gave every source the same
+    final seq, so key ties broke on value bytes — and TOMBSTONE's leading
+    ``\\x00`` made a stale flushed tombstone shadow the memtable's fresh
+    value, silently dropping the key from scans (while ``get`` stayed
+    correct).
+    """
+    store.put(ikey(1), b"first")
+    store.delete(ikey(1))  # tombstone, flushed to L0 below
+    store.flush()
+    store.put(ikey(1), b"fresh")  # reinsert lives only in the memtable
+    assert store.get(ikey(1)) == b"fresh"
+    got = dict(store.scan(ikey(0), 10))
+    assert got.get(ikey(1)) == b"fresh"
+
+
 def test_scan_skips_tombstones(store):
     for k in range(20):
         store.put(ikey(k), b"v")
@@ -136,6 +155,35 @@ def test_scan_skips_tombstones(store):
     got = store.scan(ikey(0), 20)
     assert ikey(3) not in dict(got)
     assert len(got) == 19
+
+
+def test_find_table_memo_survives_level_reshape(store):
+    """Regression for the per-level min-key memo in ``_find_table``.
+
+    The memo caches each level's table boundaries so point reads stop
+    rebuilding a list per probe; it must be invalidated whenever a flush
+    or compaction reshapes a level, or reads route to stale tables.
+    """
+    for k in range(0, 600, 2):
+        store.put(ikey(k), b"a" * 16)
+    # Prime the memo on every level with reads...
+    for k in range(0, 600, 20):
+        assert store.get(ikey(k)) == b"a" * 16
+    # ...then reshape the levels with interleaved keys and overwrites.
+    for k in range(1, 600, 2):
+        store.put(ikey(k), b"b" * 16)
+    for k in range(0, 600, 4):
+        store.put(ikey(k), b"c" * 16)
+    store.flush()
+    for k in range(0, 600, 3):
+        expected = b"c" * 16 if k % 4 == 0 else (b"a" * 16 if k % 2 == 0 else b"b" * 16)
+        assert store.get(ikey(k)) == expected, k
+    # The invariant the invalidation maintains: a present memo always
+    # mirrors the live table boundaries of its level.
+    for level in range(1, store.config.max_levels):
+        memo = store._min_keys[level]
+        if memo is not None:
+            assert memo == [t.min_key for t in store.levels[level]], level
 
 
 def test_writes_are_mostly_sequential_under_random_puts(store):
