@@ -21,14 +21,21 @@ Usage::
 uploads its refreshed copy as an artifact via ``--out``); full runs
 replace the entry with the same label or append a new one.
 
+Harness hygiene: the cyclic GC is collected and disabled around every
+timed region, and each benchmark reports the *median* wall time over
+``--repeat`` runs (expensive end-to-end benchmarks are capped at one
+repeat via ``_REPEATS``).
+
 See EXPERIMENTS.md ("Wall-clock vs. simulated time") for methodology.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
+import statistics
 import sys
 from pathlib import Path
 
@@ -50,10 +57,12 @@ _SCALES = {
     "kv_get_many": (20_000, 4_000),
     "page_codec": (2_000, 400),
     "fig3_random_e2e": (30_000, 6_000),
+    "serve_sharded": (16_000, 3_000),
 }
 
-#: best-of-N wall times per benchmark (1 for the expensive end-to-end run).
-_REPEATS = {"fig3_random_e2e": 1}
+#: per-benchmark caps on the repeat count (1 for the expensive
+#: end-to-end runs); the reported wall time is the median over repeats.
+_REPEATS = {"fig3_random_e2e": 1, "serve_sharded": 1}
 _DEFAULT_REPEATS = 3
 
 
@@ -213,7 +222,31 @@ def _bench_fig3_random_e2e(n: int) -> tuple[int, float]:
     return 4 * n, perf_counter() - t0
 
 
-_BENCHMARKS: dict[str, Callable[[int], tuple[int, float]]] = {
+def _bench_serve_sharded(n: int) -> tuple[int, float, dict]:
+    """Closed-loop concurrent serving at 1 and 4 shards (see repro.bench.serve).
+
+    The wall time covers both configurations end to end (preload +
+    serve); the ``serve`` extra records the *simulated* aggregate
+    throughput and latency percentiles per shard count, plus the
+    4-shard speedup the sharded serving layer exists to deliver.
+    """
+    from repro.bench.serve import run_serve
+
+    keys = max(2_000, n // 4)
+    per: dict[str, dict] = {}
+    t0 = perf_counter()
+    for shards in (1, 4):
+        r = run_serve(system="ART-LSM", shards=shards, clients=16, ops=n, keys=keys, seed=7)
+        per[str(shards)] = {
+            k: r[k] for k in ("throughput_kops", "p50_us", "p95_us", "p99_us")
+        }
+    wall = perf_counter() - t0
+    speedup = per["4"]["throughput_kops"] / per["1"]["throughput_kops"]
+    extra = {"serve": {**per, "speedup_4sh_vs_1sh": round(speedup, 2)}}
+    return 2 * n, wall, extra
+
+
+_BENCHMARKS: dict[str, Callable[[int], tuple]] = {
     "art_random_insert": _bench_art_random_insert,
     "art_search": _bench_art_search,
     "art_bulk_load": _bench_art_bulk_load,
@@ -223,32 +256,67 @@ _BENCHMARKS: dict[str, Callable[[int], tuple[int, float]]] = {
     "kv_get_many": _bench_kv_get_many,
     "page_codec": _bench_page_codec,
     "fig3_random_e2e": _bench_fig3_random_e2e,
+    "serve_sharded": _bench_serve_sharded,
 }
 
 
 # ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
-def run_benchmarks(quick: bool = False, only: list[str] | None = None) -> dict[str, dict]:
-    """Run the suite; returns ``{name: {"ops", "wall_s", "per_op_us"}}``."""
+def _timed_once(fn: Callable[[int], tuple], n: int) -> tuple:
+    """One benchmark run with the cyclic GC pinned off.
+
+    A collection landing inside a timed region adds milliseconds of
+    noise unrelated to the code under test; collecting up front and
+    disabling the collector keeps repeats comparable.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        return fn(n)
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def run_benchmarks(
+    quick: bool = False, only: list[str] | None = None, repeat: int | None = None
+) -> dict[str, dict]:
+    """Run the suite; returns ``{name: {"ops", "wall_s", "per_op_us", ...}}``.
+
+    The reported wall time is the *median* over the repeats (robust to
+    one-off scheduler hiccups in either direction, unlike best-of-N
+    which systematically underestimates).  ``repeat`` overrides the
+    default count; per-benchmark ``_REPEATS`` caps still apply.
+    """
     results: dict[str, dict] = {}
     for name, fn in _BENCHMARKS.items():
         if only and name not in only:
             continue
         n = _SCALES[name][1 if quick else 0]
-        repeats = _REPEATS.get(name, _DEFAULT_REPEATS)
-        best = None
+        repeats = repeat if repeat is not None else _DEFAULT_REPEATS
+        repeats = min(repeats, _REPEATS.get(name, repeats))
+        walls = []
         ops = n
-        for _ in range(repeats):
-            ops, wall = fn(n)
-            best = wall if best is None or wall < best else best
-        assert best is not None
-        results[name] = {
+        extra: dict | None = None
+        for _ in range(max(1, repeats)):
+            out = _timed_once(fn, n)
+            if len(out) == 3:
+                ops, wall, extra = out
+            else:
+                ops, wall = out
+            walls.append(wall)
+        wall = statistics.median(walls)
+        entry = {
             "ops": ops,
-            "wall_s": round(best, 6),
-            "per_op_us": round(best / ops * 1e6, 4),
+            "wall_s": round(wall, 6),
+            "per_op_us": round(wall / ops * 1e6, 4),
         }
-        print(f"  {name:<20} {ops:>8} ops   {best:8.3f} s   {best / ops * 1e6:9.3f} us/op")
+        if extra:
+            entry.update(extra)
+        results[name] = entry
+        print(f"  {name:<20} {ops:>8} ops   {wall:8.3f} s   {wall / ops * 1e6:9.3f} us/op")
     return results
 
 
@@ -287,6 +355,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--only", action="append", help="run only the named benchmark(s)")
     parser.add_argument("--no-write", action="store_true", help="measure and print only")
     parser.add_argument("--out", type=Path, default=None, help="trajectory file path")
+    parser.add_argument(
+        "--repeat", type=int, default=None, help=f"repeats per benchmark (default {_DEFAULT_REPEATS})"
+    )
     args = parser.parse_args(argv)
 
     unknown = [n for n in args.only or [] if n not in _BENCHMARKS]
@@ -296,8 +367,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     mode = "quick" if args.quick else "full"
-    print(f"repro.bench.perf ({mode} scale, best of {_DEFAULT_REPEATS}):")
-    benches = run_benchmarks(quick=args.quick, only=args.only)
+    repeats = args.repeat if args.repeat is not None else _DEFAULT_REPEATS
+    print(f"repro.bench.perf ({mode} scale, median of {repeats}, gc pinned):")
+    benches = run_benchmarks(quick=args.quick, only=args.only, repeat=args.repeat)
 
     out = args.out if args.out is not None else default_output_path()
     data = load_trajectory(out)

@@ -1,0 +1,249 @@
+"""Closed-loop concurrent-serving harness (``python -m repro.bench.serve``).
+
+Models ``--clients`` closed-loop clients issuing a Zipfian get-heavy
+mix against a :class:`~repro.shard.router.ShardRouter` with
+``--shards`` partitions.  Each client keeps exactly one request in
+flight: it issues, waits for completion, then immediately issues the
+next.  Requests queue *per shard* — a shard serves one request at a
+time in simulated time, so hot shards build queues while idle shards
+drain — and the run reports aggregate throughput plus p50/p95/p99
+request latency.
+
+All reported quantities are **simulated** time, the house currency of
+this repo (see EXPERIMENTS.md, "Wall-clock vs. simulated time"):
+
+* a request's *service time* is the simulated cost of its operation on
+  the owning shard, read off that shard's :class:`Snapshot` delta;
+* its *latency* is queueing delay + service time;
+* the run's *makespan* is the completion time of the last request, and
+  aggregate throughput is ``ops / makespan``.
+
+Because every shard owns an independent :class:`EngineRuntime`, N
+shards serve N requests concurrently; the makespan is bounded by the
+busiest shard.  That is the mechanism behind the shard-count scaling
+table in EXPERIMENTS.md — and it is fully deterministic: the event
+loop pops (ready_time, client_id) pairs from a heap, so results are
+byte-stable across runs, worker counts, and platforms.
+
+Usage::
+
+    python -m repro.bench.serve --shards 4 --clients 16
+    python -m repro.bench.serve --sweep 1,2,4,8       # scaling table
+    python -m repro.bench.serve --system RocksDB --get-fraction 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import random
+import sys
+
+# Wall-clock is reported alongside (never mixed into) simulated results.
+from time import perf_counter  # reprolint: allow[RL004]
+from typing import Any
+
+__all__ = ["run_serve", "main"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-q * len(sorted_values) // 1)  # ceil(q * N)
+    rank = min(len(sorted_values), max(1, int(rank)))
+    return sorted_values[rank - 1]
+
+
+def run_serve(
+    system: str = "ART-LSM",
+    shards: int = 4,
+    clients: int = 16,
+    ops: int = 20_000,
+    keys: int = 5_000,
+    value_bytes: int = 100,
+    get_fraction: float = 0.95,
+    theta: float = 0.7,
+    seed: int = 7,
+    workers: int = 0,
+    partitioner: str = "hash",
+    memory_bytes: int | None = None,
+) -> dict[str, Any]:
+    """Run one closed-loop serving experiment; returns a metrics dict.
+
+    ``memory_bytes`` is the *total* budget across all shards (constant
+    while sweeping shard counts); the default forces roughly two thirds
+    of the data below the memory line so Index Y is actually exercised.
+    """
+    from repro.systems.factory import build_system
+    from repro.workloads import ZipfianGenerator, random_insert_keys
+
+    if memory_bytes is None:
+        memory_bytes = max(64 * 1024, keys * (value_bytes + 64) // 3)
+    value = b"v" * value_bytes
+
+    router = build_system(
+        "Sharded",
+        memory_limit_bytes=memory_bytes,
+        base_system=system,
+        shards=shards,
+        partitioner=partitioner,
+        workers=workers,
+    )
+
+    wall0 = perf_counter()
+    key_list = random_insert_keys(keys, key_space=1 << 40, seed=seed)
+    router.put_many(key_list, value)
+    router.flush()
+    preload_wall_s = perf_counter() - wall0
+
+    shard_of = router.partitioner.shard_of
+    engines = router.shards
+    models = [shard.thread_model for shard in engines]
+
+    # Per-client request streams: independent, explicitly seeded.
+    rngs = [random.Random(seed * 1000 + cid) for cid in range(clients)]
+    zipfs = [ZipfianGenerator(keys, theta=theta, seed=seed * 1000 + cid) for cid in range(clients)]
+
+    # Closed loop over simulated time.  The heap orders clients by the
+    # time their previous request completed; ties break on client id,
+    # so the pop order — and with it every simulated account — is
+    # deterministic.
+    heap: list[tuple[float, int]] = [(0.0, cid) for cid in range(clients)]
+    heapq.heapify(heap)
+    free_at = [0.0] * shards
+    shard_ops = [0] * shards
+    latencies_ns: list[float] = []
+    makespan_ns = 0.0
+
+    wall0 = perf_counter()
+    for _ in range(ops):
+        ready_ns, cid = heapq.heappop(heap)
+        rng = rngs[cid]
+        if rng.random() < get_fraction:
+            key = key_list[zipfs[cid].next()]
+            is_get = True
+        else:
+            key = rng.randrange(1 << 40)
+            is_get = False
+        sid = shard_of(key)
+        engine = engines[sid]
+        before = engine.snapshot()
+        if is_get:
+            engine.read(key)
+        else:
+            engine.insert(key, value)
+        service_ns = before.delta(engine.snapshot()).elapsed_ns(1, models[sid])
+        start_ns = free_at[sid] if free_at[sid] > ready_ns else ready_ns
+        finish_ns = start_ns + service_ns
+        free_at[sid] = finish_ns
+        shard_ops[sid] += 1
+        latencies_ns.append(finish_ns - ready_ns)
+        if finish_ns > makespan_ns:
+            makespan_ns = finish_ns
+        heapq.heappush(heap, (finish_ns, cid))
+    serve_wall_s = perf_counter() - wall0
+
+    latencies_ns.sort()
+    makespan_s = makespan_ns / 1e9 if makespan_ns > 0 else 1e-12
+    return {
+        "system": system,
+        "shards": shards,
+        "clients": clients,
+        "ops": ops,
+        "keys": keys,
+        "get_fraction": get_fraction,
+        "theta": theta,
+        "memory_bytes": memory_bytes,
+        "throughput_kops": round(ops / makespan_s / 1e3, 3),
+        "p50_us": round(_percentile(latencies_ns, 0.50) / 1e3, 3),
+        "p95_us": round(_percentile(latencies_ns, 0.95) / 1e3, 3),
+        "p99_us": round(_percentile(latencies_ns, 0.99) / 1e3, 3),
+        "mean_us": round(sum(latencies_ns) / len(latencies_ns) / 1e3, 3),
+        "makespan_ms": round(makespan_ns / 1e6, 3),
+        "per_shard_ops": shard_ops,
+        "preload_wall_s": round(preload_wall_s, 3),
+        "serve_wall_s": round(serve_wall_s, 3),
+    }
+
+
+def _print_row(r: dict[str, Any]) -> None:
+    print(
+        f"  {r['shards']:>6} {r['clients']:>7} {r['ops']:>8}"
+        f" {r['throughput_kops']:>12.1f} {r['p50_us']:>9.1f}"
+        f" {r['p95_us']:>9.1f} {r['p99_us']:>9.1f} {r['serve_wall_s']:>8.2f}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench.serve", description=__doc__)
+    parser.add_argument("--system", default="ART-LSM", help="base system per shard")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--ops", type=int, default=20_000)
+    parser.add_argument("--keys", type=int, default=5_000, help="preloaded key count")
+    parser.add_argument("--value-bytes", type=int, default=100)
+    parser.add_argument("--get-fraction", type=float, default=0.95)
+    parser.add_argument("--theta", type=float, default=0.7, help="Zipfian skew")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=0, help="batch-dispatch threads")
+    parser.add_argument("--partitioner", choices=("hash", "range"), default="hash")
+    parser.add_argument("--memory-bytes", type=int, default=None, help="total budget")
+    parser.add_argument("--sweep", default=None, help="comma-separated shard counts")
+    parser.add_argument("--sanitize", action="store_true", help="enable runtime sanitizers")
+    parser.add_argument("--json", action="store_true", help="emit metrics as JSON lines")
+    args = parser.parse_args(argv)
+
+    if args.sanitize:
+        from repro.check.flags import set_sanitize
+
+        set_sanitize(True)
+
+    shard_counts = (
+        [int(tok) for tok in args.sweep.split(",") if tok.strip()]
+        if args.sweep
+        else [args.shards]
+    )
+
+    if not args.json:
+        print(
+            f"repro.bench.serve: {args.system}, {args.clients} closed-loop clients, "
+            f"{args.ops} ops, zipf(theta={args.theta}) {args.get_fraction:.0%} gets"
+        )
+        print(
+            f"  {'shards':>6} {'clients':>7} {'ops':>8} {'kops/sim-s':>12}"
+            f" {'p50_us':>9} {'p95_us':>9} {'p99_us':>9} {'wall_s':>8}"
+        )
+    results = []
+    for shards in shard_counts:
+        r = run_serve(
+            system=args.system,
+            shards=shards,
+            clients=args.clients,
+            ops=args.ops,
+            keys=args.keys,
+            value_bytes=args.value_bytes,
+            get_fraction=args.get_fraction,
+            theta=args.theta,
+            seed=args.seed,
+            workers=args.workers,
+            partitioner=args.partitioner,
+            memory_bytes=args.memory_bytes,
+        )
+        results.append(r)
+        if args.json:
+            print(json.dumps(r))
+        else:
+            _print_row(r)
+    if not args.json and len(results) > 1:
+        base = results[0]["throughput_kops"]
+        scaling = ", ".join(
+            f"{r['shards']}x={r['throughput_kops'] / base:.2f}" for r in results
+        )
+        print(f"  speedup vs {results[0]['shards']} shard(s): {scaling}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -29,6 +29,14 @@ The catalogue (see DESIGN.md for the paper mapping):
 * **engine** — Index X within the watermarks after a release cycle, X/Y
   coherence after a flush, deleted keys never resurrecting, and the
   simulated clocks never running backwards.
+* **shard router** — per-shard substrate isolation (no two shards may
+  share a clock, disk, or stats bus — the router's whole contract is
+  that shards are independent engines), partitioner/shard-count
+  agreement, placement determinism (``shard_of`` and ``split`` agree and
+  stay in range), and monotone placement for ordered partitioners.
+  :class:`ShardSanitizer` runs these router-level checks; each shard
+  additionally runs its own system-level sanitizer exactly as when it
+  serves alone.
 
 Sanitizers read through the same charged APIs as the engine (buffer-pool
 page access, SSTable block reads), so enabling them perturbs simulated
@@ -54,6 +62,7 @@ from repro.lsm.store import TOMBSTONE, LSMStore
 
 if TYPE_CHECKING:
     from repro.core.indexy import IndeXY
+    from repro.shard.router import ShardRouter
     from repro.sim.runtime import EngineRuntime
 
 __all__ = [
@@ -62,6 +71,7 @@ __all__ = [
     "CheckBackAuditor",
     "ClockMonotonicityGuard",
     "IndexSanitizer",
+    "ShardSanitizer",
     "StoreSanitizer",
     "check_art",
     "check_art_memory",
@@ -73,6 +83,7 @@ __all__ = [
     "check_lsm",
     "check_no_leaked_pins",
     "check_release_watermark",
+    "check_shard_router",
 ]
 
 #: cap on violations one walk reports for a single check (a corrupted
@@ -875,3 +886,101 @@ class StoreSanitizer:
     def structural_violations(self) -> list[Violation]:
         self.checks_run += 1
         return self.checker()
+
+
+# ----------------------------------------------------------------------
+# shard-router checks
+# ----------------------------------------------------------------------
+#: deterministic placement probes: the low key range (sequential
+#: workloads) plus spread-out large keys (hash avalanche coverage).
+_SHARD_PROBE_KEYS: tuple[int, ...] = tuple(range(32)) + tuple(
+    (i * 0x9E3779B97F4A7C15) % (1 << 40) for i in range(32)
+)
+
+
+def check_shard_router(router: "ShardRouter") -> list[Violation]:
+    """Router-level invariants of the sharded serving layer.
+
+    The router's contract is that its shards are fully independent
+    engines: distinct simulated substrates, a partition function that is
+    total, in-range, and consistent between the single-op and batch
+    paths, and (for ordered partitioners) monotone in the key.  Shard
+    *content* is each shard's own sanitizer's job.
+    """
+    out = _Collector()
+    shards = router.shards
+    partitioner = router.partitioner
+    if partitioner.shards != len(shards):
+        out.add(
+            "shard-count",
+            f"partitioner covers {partitioner.shards} shards but the router "
+            f"holds {len(shards)}",
+        )
+    for attr in ("runtime", "clock", "disk", "stats"):
+        objects = [getattr(shard, attr) for shard in shards]
+        if len({id(obj) for obj in objects}) != len(objects):
+            out.add(
+                "shard-isolation",
+                f"two shards share one {attr}; shards must be fully "
+                "independent engines (no shared substrate)",
+            )
+    n = len(shards)
+    previous = 0
+    for key in _SHARD_PROBE_KEYS:
+        sid = partitioner.shard_of(key)
+        if not 0 <= sid < n:
+            out.add(
+                "shard-placement",
+                f"shard_of({key}) = {sid}, outside [0, {n})",
+            )
+            continue
+        if key not in partitioner.split([key])[sid]:
+            out.add(
+                "shard-placement",
+                f"split() and shard_of() disagree on key {key}",
+            )
+    if partitioner.ordered:
+        for key in sorted(_SHARD_PROBE_KEYS):
+            sid = partitioner.shard_of(key)
+            if sid < previous:
+                out.add(
+                    "shard-order",
+                    f"ordered partitioner is not monotone: shard_of({key}) = "
+                    f"{sid} after shard {previous}",
+                )
+            previous = max(previous, sid)
+    return out.violations
+
+
+class ShardSanitizer:
+    """Periodic router-level invariant checks for a :class:`ShardRouter`.
+
+    The checks are pure object-graph walks (no charged reads), so no
+    ``observation()`` rollback is needed; per-shard structural sweeps run
+    inside the shards' own sanitizers.  ``after_batch`` advances the op
+    counter by the batch size and sweeps when an interval boundary was
+    crossed, so batched and single-op serving check at the same cadence.
+    """
+
+    def __init__(self, router: "ShardRouter", interval: int = 1024) -> None:
+        self.router = router
+        self.interval = max(1, interval)
+        self.checks_run = 0
+        self._ops = 0
+
+    def after_op(self) -> None:
+        self.after_batch(1)
+
+    def after_batch(self, ops: int) -> None:
+        if ops <= 0:
+            return
+        before = self._ops
+        self._ops += ops
+        if before // self.interval != self._ops // self.interval:
+            self.check_now()
+
+    def check_now(self) -> None:
+        self.checks_run += 1
+        violations = check_shard_router(self.router)
+        if violations:
+            raise CheckError(violations)

@@ -1,0 +1,26 @@
+"""Sharded concurrent serving layer.
+
+Partitions the key space over N independent single-engine systems (each
+with its own :class:`~repro.sim.runtime.EngineRuntime`) behind a
+batching :class:`~repro.shard.router.ShardRouter`.  See DESIGN.md §8 for
+the architecture and EXPERIMENTS.md for the concurrent-serving
+methodology.
+"""
+
+from repro.shard.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from repro.shard.pool import ShardWorkerPool
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardRouter",
+    "ShardWorkerPool",
+    "make_partitioner",
+]

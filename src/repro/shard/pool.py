@@ -1,0 +1,69 @@
+"""Worker pool for per-shard batch dispatch.
+
+The router splits a batch into per-shard sub-batches and hands this pool
+one thunk per non-empty shard.  Each thunk touches exactly one shard's
+state for its whole run — shards share no clocks, no disks, no stats —
+so thread scheduling cannot reorder any shard's internal operation
+sequence and per-shard simulated accounting is byte-identical to the
+serial fallback (``tests/test_determinism.py`` pins this).
+
+Threads here buy wall-clock overlap on multi-core hosts only; simulated
+time is unaffected either way.  ``workers <= 1`` (the default) is the
+serial fallback simulated runs use, which also keeps single-op latency
+paths free of executor overhead.
+"""
+
+from __future__ import annotations
+
+# The one sanctioned exception to the no-real-concurrency contract
+# (RL003): these threads never touch simulated state concurrently —
+# each submitted thunk owns one shard's entire substrate for the call.
+from concurrent.futures import ThreadPoolExecutor  # reprolint: allow[RL003]
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ShardWorkerPool"]
+
+T = TypeVar("T")
+
+
+def _invoke(thunk: Callable[[], T]) -> T:
+    return thunk()
+
+
+class ShardWorkerPool:
+    """Runs a batch of independent thunks, threaded or serial.
+
+    Results come back in submission order regardless of completion
+    order, so callers can zip them against their dispatch list.
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = max(0, workers)
+        self._executor: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=self.workers) if self.workers > 1 else None
+        )
+
+    @property
+    def threaded(self) -> bool:
+        return self._executor is not None
+
+    def run(self, thunks: Sequence[Callable[[], T]]) -> list[T]:
+        """Execute every thunk; returns their results in submission order."""
+        executor = self._executor
+        if executor is None or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        return list(executor.map(_invoke, thunks))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardWorkerPool(workers={self.workers}, threaded={self.threaded})"

@@ -1,0 +1,261 @@
+"""``ShardRouter``: N independent IndeXY engines behind one KV front-end.
+
+The first multi-engine layer of the codebase.  The router partitions the
+integer key space over ``shards`` fully independent
+:class:`~repro.systems.base.KVSystem` instances (any factory-buildable
+system) and routes operations by partition:
+
+* ``insert``/``read``/``delete``/``scan`` go straight to the owning
+  shard — no router-side locks, queues, or counters on the data path;
+* ``put_many``/``get_many``/``delete_many`` are split into per-shard
+  sub-batches in one pass, then dispatched once to a
+  :class:`~repro.shard.pool.ShardWorkerPool` (threads for wall-clock
+  benches, serial fallback for simulated runs);
+* ``scan`` results from the consulted shards are k-way merged with
+  :func:`heapq.merge` (each key lives on exactly one shard, so the merge
+  needs no duplicate resolution).
+
+Every shard keeps its own :class:`~repro.sim.runtime.EngineRuntime` —
+its own clock, disk, stats bus, memory budget, pre-cleaner, and Index Y
+— so all of the paper's mechanisms (pre-cleaning, subtree release,
+migration, compaction) operate per shard exactly as in the single-engine
+systems; sharding multiplies them without changing them.  The router
+itself holds no simulated substrate: its inherited runtime stays at zero
+and :meth:`snapshot` aggregates across shards.
+
+Dispatch-loop discipline (reprolint RL008): batches are partitioned
+once and dispatched once; loop bodies bind every shard handle to a
+local and write only to function-local accumulators, never to router
+attributes, and acquire no locks.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from heapq import merge as heapq_merge
+from operator import itemgetter
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.shard.partition import Partitioner, make_partitioner
+from repro.shard.pool import ShardWorkerPool
+from repro.sim.costs import CostModel
+from repro.sim.threads import ThreadModel
+from repro.systems.base import KVSystem, Snapshot
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter(KVSystem):
+    """Partitioned serving layer over ``shards`` independent engines.
+
+    ``memory_limit_bytes`` is the *total* budget; each shard receives an
+    equal slice, so shard counts are compared at constant total memory.
+    ``workers`` sizes the batch-dispatch thread pool (``0``/``1`` =
+    serial fallback; simulated results are identical either way).
+    """
+
+    name = "Sharded"
+
+    def __init__(
+        self,
+        base_system: str = "ART-LSM",
+        shards: int = 4,
+        memory_limit_bytes: int = 1 << 20,
+        *,
+        partitioner: str | Partitioner = "hash",
+        key_space: int = 1 << 40,
+        workers: int = 0,
+        page_size: int = 4096,
+        costs: CostModel | None = None,
+        thread_model: ThreadModel | None = None,
+        debug_checks: bool | None = None,
+        **system_kwargs: Any,
+    ) -> None:
+        # The inherited runtime is dormant bookkeeping only: the router
+        # charges nothing itself; every simulated account lives on a shard.
+        super().__init__(costs, thread_model)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.base_system = base_system
+        self.partitioner: Partitioner = (
+            make_partitioner(partitioner, shards, key_space)
+            if isinstance(partitioner, str)
+            else partitioner
+        )
+        if self.partitioner.shards != shards:
+            raise ValueError(
+                f"partitioner covers {self.partitioner.shards} shards, "
+                f"router was asked for {shards}"
+            )
+        self.pool = ShardWorkerPool(workers)
+        if debug_checks is None:
+            from repro.check.flags import sanitize_enabled
+
+            debug_checks = sanitize_enabled()
+        # Deferred import: the factory registers this class by name, so a
+        # module-level import either way would be circular.
+        from repro.systems.factory import build_system
+
+        per_shard = max(1, memory_limit_bytes // shards)
+        self.shards: list[KVSystem] = [
+            build_system(
+                base_system,
+                memory_limit_bytes=per_shard,
+                page_size=page_size,
+                costs=costs,
+                thread_model=thread_model,
+                debug_checks=debug_checks,
+                **system_kwargs,
+            )
+            for __ in range(shards)
+        ]
+        self.name = f"Sharded-{base_system}x{shards}"
+        self.sanitizer: Optional[Any] = None
+        if debug_checks:
+            from repro.check.sanitizer import ShardSanitizer
+
+            self.sanitizer = ShardSanitizer(self)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # single operations: route to the owning shard, nothing else
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: bytes) -> None:
+        self.shards[self.partitioner.shard_of(key)].insert(key, value)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
+
+    def read(self, key: int) -> Optional[bytes]:
+        value = self.shards[self.partitioner.shard_of(key)].read(key)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
+        return value
+
+    def delete(self, key: int) -> bool:
+        present = self.shards[self.partitioner.shard_of(key)].delete(key)
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
+        return present
+
+    # ------------------------------------------------------------------
+    # batched operations: partition once, dispatch once
+    # ------------------------------------------------------------------
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
+        batches = self.partitioner.split(keys)
+        shards = self.shards
+        work = [
+            partial(shards[sid].put_many, batch, value)
+            for sid, batch in enumerate(batches)
+            if batch
+        ]
+        self.pool.run(work)
+        if self.sanitizer is not None:
+            self.sanitizer.after_batch(sum(len(b) for b in batches))
+
+    def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
+        key_list = list(keys)
+        batches, positions = self.partitioner.split_indexed(key_list)
+        shards = self.shards
+        dispatched = [sid for sid, batch in enumerate(batches) if batch]
+        work = [partial(shards[sid].get_many, batches[sid]) for sid in dispatched]
+        per_shard_values = self.pool.run(work)
+        # Scatter per-shard results back to batch positions.  The merge
+        # runs on the calling thread after the barrier; workers only
+        # return values, they never write shared state.
+        out: list[Optional[bytes]] = [None] * len(key_list)
+        for sid, values in zip(dispatched, per_shard_values, strict=True):
+            pos = positions[sid]
+            for i, value in zip(pos, values, strict=True):
+                out[i] = value
+        if self.sanitizer is not None:
+            self.sanitizer.after_batch(len(key_list))
+        return out
+
+    def delete_many(self, keys: Iterable[int]) -> list[bool]:
+        key_list = list(keys)
+        batches, positions = self.partitioner.split_indexed(key_list)
+        shards = self.shards
+        dispatched = [sid for sid, batch in enumerate(batches) if batch]
+        work = [partial(shards[sid].delete_many, batches[sid]) for sid in dispatched]
+        per_shard_flags = self.pool.run(work)
+        out: list[bool] = [False] * len(key_list)
+        for sid, flags in zip(dispatched, per_shard_flags, strict=True):
+            pos = positions[sid]
+            for i, flag in zip(pos, flags, strict=True):
+                out[i] = flag
+        if self.sanitizer is not None:
+            self.sanitizer.after_batch(len(key_list))
+        return out
+
+    # ------------------------------------------------------------------
+    # range scans: per-shard scans, k-way merge
+    # ------------------------------------------------------------------
+    def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
+        shards = self.shards
+        consult = self.partitioner.scan_shard_ids(key)
+        if self.partitioner.ordered:
+            # Contiguous placement: shard id order is key order, so walk
+            # forward and stop as soon as the scan is satisfied.
+            out: list[tuple[bytes, bytes]] = []
+            for sid in consult:
+                out.extend(shards[sid].scan(key, count - len(out)))
+                if len(out) >= count:
+                    break
+            result = out[:count]
+        else:
+            work = [partial(shards[sid].scan, key, count) for sid in consult]
+            per_shard = self.pool.run(work)
+            merged = heapq_merge(*per_shard, key=itemgetter(0))
+            result = [pair for pair, __ in zip(merged, range(count))]
+        if self.sanitizer is not None:
+            self.sanitizer.after_op()
+        return result
+
+    # ------------------------------------------------------------------
+    # lifecycle / accounting
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def shard_snapshots(self) -> list[Snapshot]:
+        return [shard.snapshot() for shard in self.shards]
+
+    def snapshot(self) -> Snapshot:
+        """Aggregate of all shard accounts.
+
+        Summed CPU/disk time reads as *serial* elapsed time; concurrent
+        serving derives elapsed time from the per-shard snapshots instead
+        (the slowest shard bounds the makespan — see ``repro.bench.serve``).
+        """
+        totals = [0.0] * 6
+        for shard in self.shards:
+            snap = shard.snapshot()
+            totals[0] += snap.cpu_ns
+            totals[1] += snap.background_ns
+            totals[2] += snap.disk_busy_ns
+            totals[3] += snap.ops
+            totals[4] += snap.disk_read_bytes
+            totals[5] += snap.disk_write_bytes
+        return Snapshot(*totals)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes for shard in self.shards)
+
+    def shard_sizes(self, keys: Sequence[int]) -> list[int]:
+        """How ``keys`` would distribute over shards (balance probe)."""
+        return [len(batch) for batch in self.partitioner.split(keys)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardRouter({self.base_system!r}, shards={self.num_shards}, "
+            f"partitioner={type(self.partitioner).__name__}, "
+            f"workers={self.pool.workers})"
+        )

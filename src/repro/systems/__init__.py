@@ -20,10 +20,11 @@ from repro.systems.art_multi import ArtMultiYSystem
 from repro.systems.art_bplus import ArtBPlusSystem
 from repro.systems.bplus_bplus import BPlusBPlusSystem
 from repro.systems.rocksdb_like import RocksDbLikeSystem
-from repro.systems.factory import SYSTEM_NAMES, build_system
+from repro.systems.factory import SYSTEM_NAMES, build_system, registered_systems
 
 __all__ = [
     "SYSTEM_NAMES",
+    "registered_systems",
     "ArtBPlusSystem",
     "ArtLsmSystem",
     "ArtMultiYSystem",

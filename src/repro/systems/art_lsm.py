@@ -86,6 +86,21 @@ class ArtLsmSystem(KVSystem):
         self._op()
         return self.index.delete(self.encode_key(key))
 
+    def delete_many(self, keys: Iterable[int]) -> list[bool]:
+        # Same per-key charge sequence as delete(), locals hoisted.
+        charge = self.clock.charge_cpu
+        overhead = self.costs.op_overhead
+        bump = self.stats.bump
+        encode = self.encode_key
+        delete = self.index.delete
+        out: list[bool] = []
+        append = out.append
+        for key in keys:
+            charge(overhead)
+            bump("ops")
+            append(delete(encode(key)))
+        return out
+
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()
         return self.index.scan(self.encode_key(key), count)

@@ -118,6 +118,11 @@ class KVSystem:
         read = self.read
         return [read(key) for key in keys]
 
+    def delete_many(self, keys: Iterable[int]) -> list[bool]:
+        """Delete every key in ``keys``; returns the presence flags in order."""
+        delete = self.delete
+        return [delete(key) for key in keys]
+
     def flush(self) -> None:
         """Persist everything (end-of-run checkpoint)."""
 

@@ -1,8 +1,16 @@
-"""System factory: build any Table-I system by name."""
+"""System factory: build any registered system by name.
+
+The registry covers the four Table-I systems, the Section III-G
+``ART-Multi`` extension, and the ``Sharded`` serving layer
+(:class:`~repro.shard.router.ShardRouter` — pass ``base_system=`` and
+``shards=`` through ``kwargs`` to configure it).  Unknown names fail
+with the full list of registered systems, so a typo in an experiment
+spec reads as a one-line fix instead of a bare ``KeyError``.
+"""
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.sim.costs import CostModel
 from repro.sim.threads import ThreadModel
@@ -13,9 +21,114 @@ from repro.systems.base import KVSystem
 from repro.systems.bplus_bplus import BPlusBPlusSystem
 from repro.systems.rocksdb_like import RocksDbLikeSystem
 
-#: the four Table-I systems; "ART-Multi" (the Section III-G multi-Y
-#: extension) is additionally accepted by :func:`build_system`.
+#: the four Table-I systems the paper's experiments iterate over;
+#: :func:`build_system` additionally accepts everything in the registry.
 SYSTEM_NAMES = ("ART-LSM", "ART-B+", "B+-B+", "RocksDB")
+
+_Builder = Callable[..., KVSystem]
+
+
+def _build_art_lsm(
+    memory_limit_bytes: int,
+    page_size: int,
+    costs: CostModel | None,
+    thread_model: ThreadModel | None,
+    **kwargs: Any,
+) -> KVSystem:
+    return ArtLsmSystem(memory_limit_bytes, costs=costs, thread_model=thread_model, **kwargs)
+
+
+def _build_art_bplus(
+    memory_limit_bytes: int,
+    page_size: int,
+    costs: CostModel | None,
+    thread_model: ThreadModel | None,
+    **kwargs: Any,
+) -> KVSystem:
+    return ArtBPlusSystem(
+        memory_limit_bytes,
+        page_size=page_size,
+        costs=costs,
+        thread_model=thread_model,
+        **kwargs,
+    )
+
+
+def _build_bplus_bplus(
+    memory_limit_bytes: int,
+    page_size: int,
+    costs: CostModel | None,
+    thread_model: ThreadModel | None,
+    **kwargs: Any,
+) -> KVSystem:
+    return BPlusBPlusSystem(
+        memory_limit_bytes,
+        page_size=page_size,
+        costs=costs,
+        thread_model=thread_model,
+        **kwargs,
+    )
+
+
+def _build_rocksdb(
+    memory_limit_bytes: int,
+    page_size: int,
+    costs: CostModel | None,
+    thread_model: ThreadModel | None,
+    **kwargs: Any,
+) -> KVSystem:
+    return RocksDbLikeSystem(memory_limit_bytes, costs=costs, thread_model=thread_model, **kwargs)
+
+
+def _build_art_multi(
+    memory_limit_bytes: int,
+    page_size: int,
+    costs: CostModel | None,
+    thread_model: ThreadModel | None,
+    **kwargs: Any,
+) -> KVSystem:
+    return ArtMultiYSystem(
+        memory_limit_bytes,
+        page_size=page_size,
+        costs=costs,
+        thread_model=thread_model,
+        **kwargs,
+    )
+
+
+def _build_sharded(
+    memory_limit_bytes: int,
+    page_size: int,
+    costs: CostModel | None,
+    thread_model: ThreadModel | None,
+    **kwargs: Any,
+) -> KVSystem:
+    # Deferred import: the router builds its shards through this factory,
+    # so a module-level import either way would be circular.
+    from repro.shard.router import ShardRouter
+
+    return ShardRouter(
+        memory_limit_bytes=memory_limit_bytes,
+        page_size=page_size,
+        costs=costs,
+        thread_model=thread_model,
+        **kwargs,
+    )
+
+
+_REGISTRY: dict[str, _Builder] = {
+    "ART-LSM": _build_art_lsm,
+    "ART-B+": _build_art_bplus,
+    "B+-B+": _build_bplus_bplus,
+    "RocksDB": _build_rocksdb,
+    "ART-Multi": _build_art_multi,
+    "Sharded": _build_sharded,
+}
+
+
+def registered_systems() -> tuple[str, ...]:
+    """Every name :func:`build_system` accepts, in registration order."""
+    return tuple(_REGISTRY)
 
 
 def build_system(
@@ -29,39 +142,12 @@ def build_system(
     """Construct a configured system.
 
     ``memory_limit_bytes`` is the total memory budget of the run (the
-    paper's 5 GB / 30 GB limits, scaled).  ``page_size`` applies to the
+    paper's 5 GB / 30 GB limits, scaled; the ``Sharded`` system divides
+    it equally over its shards).  ``page_size`` applies to the
     page-based structures only (Table II / Figure 10 sweeps).
     """
-    if name == "ART-LSM":
-        return ArtLsmSystem(
-            memory_limit_bytes, costs=costs, thread_model=thread_model, **kwargs
-        )
-    if name == "ART-B+":
-        return ArtBPlusSystem(
-            memory_limit_bytes,
-            page_size=page_size,
-            costs=costs,
-            thread_model=thread_model,
-            **kwargs,
-        )
-    if name == "B+-B+":
-        return BPlusBPlusSystem(
-            memory_limit_bytes,
-            page_size=page_size,
-            costs=costs,
-            thread_model=thread_model,
-            **kwargs,
-        )
-    if name == "RocksDB":
-        return RocksDbLikeSystem(
-            memory_limit_bytes, costs=costs, thread_model=thread_model, **kwargs
-        )
-    if name == "ART-Multi":
-        return ArtMultiYSystem(
-            memory_limit_bytes,
-            page_size=page_size,
-            costs=costs,
-            thread_model=thread_model,
-            **kwargs,
-        )
-    raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        known = ", ".join(registered_systems())
+        raise ValueError(f"unknown system {name!r}; registered systems: {known}")
+    return builder(memory_limit_bytes, page_size, costs, thread_model, **kwargs)

@@ -102,6 +102,27 @@ class RocksDbLikeSystem(KVSystem):
         self._sanitize()
         return present
 
+    def delete_many(self, keys: Iterable[int]) -> list[bool]:
+        # Same per-key charge sequence as delete(), locals hoisted.
+        charge = self.clock.charge_cpu
+        overhead = self.costs.op_overhead
+        bump = self.stats.bump
+        encode = self.encode_key
+        get = self.store.get
+        delete = self.store.delete
+        sanitizer = self.sanitizer
+        out: list[bool] = []
+        append = out.append
+        for key in keys:
+            charge(overhead)
+            bump("ops")
+            encoded = encode(key)
+            append(get(encoded) is not None)
+            delete(encoded)
+            if sanitizer is not None:
+                sanitizer.after_op()
+        return out
+
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
         self._op()
         out = self.store.scan(self.encode_key(key), count)

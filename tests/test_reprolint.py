@@ -264,6 +264,85 @@ def test_rl007_pragma_suppresses():
     assert lint(src, path=HOT) == []
 
 
+# -- RL008: shard dispatch loop discipline ------------------------------
+
+SHARD = "src/repro/shard/fixture.py"
+
+
+def test_rl008_fires_on_lock_calls_in_dispatch_loop():
+    src = """
+    def dispatch(self, batches):
+        for batch in batches:
+            self.lock.acquire()
+            work(batch)
+            self.lock.release()
+    """
+    assert rules_of(lint(src, path=SHARD)) == ["RL008", "RL008"]
+
+
+def test_rl008_fires_on_lock_context_manager_in_loop():
+    src = """
+    def dispatch(self, batches):
+        for batch in batches:
+            with self._mutex:
+                work(batch)
+    """
+    assert rules_of(lint(src, path=SHARD)) == ["RL008"]
+
+
+def test_rl008_fires_on_self_rooted_mutation_in_loop():
+    src = """
+    def dispatch(self, batches):
+        for sid, batch in enumerate(batches):
+            self.pending.append(batch)
+            self.counts[sid] += 1
+            self.last = sid
+    """
+    assert rules_of(lint(src, path=SHARD)) == ["RL008", "RL008", "RL008"]
+
+
+def test_rl008_quiet_on_function_local_accumulators():
+    src = """
+    def dispatch(self, batches):
+        out = []
+        append = out.append
+        shards = self.shards
+        for sid, batch in enumerate(batches):
+            append(shards[sid].run(batch))
+        self.total = len(out)
+        return out
+    """
+    assert lint(src, path=SHARD) == []
+
+
+def test_rl008_quiet_on_self_writes_outside_loops():
+    assert lint("def setup(self):\n    self.shards = []\n", path=SHARD) == []
+
+
+def test_rl008_only_applies_to_shard_modules():
+    src = """
+    def dispatch(self, batches):
+        for batch in batches:
+            self.pending.append(batch)
+    """
+    assert lint(src) == []
+
+
+def test_rl008_pragma_suppresses():
+    src = """
+    def dispatch(self, batches):
+        for batch in batches:
+            self.pending.append(batch)  # reprolint: allow[RL008]
+    """
+    assert lint(src, path=SHARD) == []
+
+
+def test_rl003_fires_on_concurrent_imports():
+    assert rules_of(lint("import concurrent.futures\n")) == ["RL003"]
+    assert rules_of(lint("from concurrent.futures import ThreadPoolExecutor\n")) == ["RL003"]
+    assert lint("from concurrent.futures import ThreadPoolExecutor  # reprolint: allow[RL003]\n") == []
+
+
 # -- pragma suppression --------------------------------------------------
 
 

@@ -73,6 +73,34 @@ def test_snapshot_deltas(system):
     assert delta.cpu_ns > 0
 
 
+def test_delete_many_reports_presence_in_order(system):
+    keys = list(range(0, 400, 4))
+    for k in keys:
+        system.insert(k, b"v")
+    flags = system.delete_many(keys[:50] + [99999])
+    assert flags == [True] * 50 + [False]
+    assert all(system.read(k) is None for k in keys[:50])
+    assert system.read(keys[50]) == b"v"
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_delete_many_charges_match_single_deletes(name):
+    # The batched path exists for wall-clock reasons only: simulated
+    # charges must be identical to the per-key delete() sequence.
+    def load(sys_):
+        for k in range(300):
+            sys_.insert(k, b"v")
+
+    batched = build_system(name, memory_limit_bytes=LIMIT)
+    single = build_system(name, memory_limit_bytes=LIMIT)
+    load(batched)
+    load(single)
+    batch_flags = batched.delete_many(range(0, 300, 3))
+    single_flags = [single.delete(k) for k in range(0, 300, 3)]
+    assert batch_flags == single_flags
+    assert batched.snapshot() == single.snapshot()
+
+
 def test_throughput_computation():
     snap = Snapshot(
         cpu_ns=1e9, background_ns=0, disk_busy_ns=0, ops=1000, disk_read_bytes=0, disk_write_bytes=0
