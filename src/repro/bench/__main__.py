@@ -9,6 +9,12 @@ Usage::
     python -m repro.bench --parallel 4 all
     python -m repro.bench --sanitize fig3_random
 
+``--cache-sweep`` runs the eviction-policy × workload grid from
+:mod:`repro.bench.cache_sweep` instead of a named experiment
+(``--smoke`` shrinks it to a 2×2 CI grid that skips the ``results/``
+write; ``--sanitize`` composes, sweeping the cache sanitizers over the
+live caches during the run).
+
 Each experiment prints its reproduced table and writes structured JSON
 under ``results/``.  ``--sanitize`` enables the runtime invariant
 sanitizers (``repro.check``) on every system the experiments build; the
@@ -92,6 +98,16 @@ def main(argv: list[str]) -> int:
 
         argv = [a for a in argv if a != "--sanitize"]
         set_sanitize(True)
+    if "--cache-sweep" in argv:
+        from repro.bench.cache_sweep import cache_sweep
+
+        smoke = "--smoke" in argv
+        leftover = [a for a in argv if a not in ("--cache-sweep", "--smoke")]
+        if leftover:
+            print(f"--cache-sweep takes no experiment names, got: {' '.join(leftover)}", file=sys.stderr)
+            return 2
+        print(cache_sweep(smoke=smoke)["table"])
+        return 0
     jobs = 0
     if "--parallel" in argv:
         at = argv.index("--parallel")

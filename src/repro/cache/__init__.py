@@ -1,0 +1,40 @@
+"""Pluggable cache-eviction policies (DESIGN.md §9).
+
+``repro.cache`` owns the :class:`CachePolicy` hook contract, the built-in
+policy family (``lru``, ``clock``, ``fifo``, ``mru``, ``lfu``,
+``s3fifo``, ``mglru``), and the byte-budgeted :class:`PolicyCache` the
+LSM/row caches are built on.  The disk-B+ buffer pool drives the same
+policy objects directly (frames need pinning, which the ``is_evictable``
+veto models).
+
+This package is bound by reprolint RL009: no wall-clock / RNG / OS-state
+imports and no bare-``set`` iteration, so every policy decision is a
+deterministic function of the hook-call sequence.
+"""
+
+from repro.cache.bytecache import PolicyCache
+from repro.cache.policies import (
+    ClockPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    MgLruPolicy,
+    MruPolicy,
+    S3FifoPolicy,
+)
+from repro.cache.policy import CachePolicy, make_policy, policy_names, register_policy
+
+__all__ = [
+    "CachePolicy",
+    "ClockPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "MgLruPolicy",
+    "MruPolicy",
+    "PolicyCache",
+    "S3FifoPolicy",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+]

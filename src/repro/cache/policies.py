@@ -1,0 +1,457 @@
+"""The built-in eviction-policy family.
+
+The set matches what the cache_ext work benchmarks against LevelDB —
+LRU, FIFO, MRU, LFU, CLOCK, S3-FIFO, and an MGLRU-style generational
+policy — each implemented as pure metadata over the hook API of
+:class:`~repro.cache.policy.CachePolicy`.
+
+All policies are deterministic: decisions depend only on the hook-call
+sequence, internal iteration runs over insertion-ordered dicts and
+lists, and ties break oldest-inserted-first (see DESIGN.md §9 for the
+contract and reprolint RL009 for the mechanical guard).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.cache.policy import CachePolicy, Evictable, register_policy
+
+__all__ = [
+    "ClockPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "MgLruPolicy",
+    "MruPolicy",
+    "S3FifoPolicy",
+]
+
+
+def _always(key: Hashable) -> bool:
+    return True
+
+
+def _keys_mismatch(structure: str, tracked, sizes: dict) -> list[str]:
+    """Compare a metadata structure's key set against the size table."""
+    problems = []
+    stale = [key for key in tracked if key not in sizes]
+    missing = [key for key in sizes if key not in tracked]
+    if stale:
+        problems.append(f"{structure} tracks removed keys {stale!r}")
+    if missing:
+        problems.append(f"{structure} is missing resident keys {missing!r}")
+    return problems
+
+
+@register_policy
+class LruPolicy(CachePolicy):
+    """Least-recently-used: the historical LSM block/row cache policy."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: insertion-ordered dict as a recency list (oldest first).
+        self._order: dict[Hashable, None] = {}
+
+    def _insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def _hit(self, key: Hashable) -> None:
+        order = self._order
+        del order[key]
+        order[key] = None
+
+    def _remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def _reset(self) -> None:
+        self._order.clear()
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        for key in self._order:
+            if evictable(key):
+                return key
+        return None
+
+    def self_check(self) -> list[str]:
+        return _keys_mismatch("recency list", self._order, self._sizes)
+
+
+@register_policy
+class MruPolicy(CachePolicy):
+    """Most-recently-used: optimal for cyclic scans that defeat LRU."""
+
+    name = "mru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: dict[Hashable, None] = {}
+
+    def _insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def _hit(self, key: Hashable) -> None:
+        order = self._order
+        del order[key]
+        order[key] = None
+
+    def _remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def _reset(self) -> None:
+        self._order.clear()
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        for key in reversed(self._order):
+            if evictable(key):
+                return key
+        return None
+
+    def self_check(self) -> list[str]:
+        return _keys_mismatch("recency list", self._order, self._sizes)
+
+
+@register_policy
+class FifoPolicy(CachePolicy):
+    """First-in-first-out: no recency tracking at all."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: dict[Hashable, None] = {}
+
+    def _insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def _hit(self, key: Hashable) -> None:
+        pass
+
+    def _remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def _reset(self) -> None:
+        self._order.clear()
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        for key in self._order:
+            if evictable(key):
+                return key
+        return None
+
+    def self_check(self) -> list[str]:
+        return _keys_mismatch("admission queue", self._order, self._sizes)
+
+
+@register_policy
+class LfuPolicy(CachePolicy):
+    """Least-frequently-used with insertion-order tie-breaking.
+
+    Frequencies start at zero on admission and count hits; the victim is
+    the minimum ``(frequency, insertion_sequence)`` pair, so two equally
+    cold keys evict oldest-first.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: key -> [hit_count, insertion_sequence]
+        self._meta: dict[Hashable, list[int]] = {}
+        self._seq = 0
+
+    def _insert(self, key: Hashable) -> None:
+        self._seq += 1
+        self._meta[key] = [0, self._seq]
+
+    def _hit(self, key: Hashable) -> None:
+        self._meta[key][0] += 1
+
+    def _remove(self, key: Hashable) -> None:
+        del self._meta[key]
+
+    def _reset(self) -> None:
+        self._meta.clear()
+        self._seq = 0
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        best: Optional[Hashable] = None
+        best_meta: Optional[list[int]] = None
+        for key, meta in self._meta.items():
+            if best_meta is not None and (meta[0], meta[1]) >= (best_meta[0], best_meta[1]):
+                continue
+            if evictable(key):
+                best, best_meta = key, meta
+        return best
+
+    def self_check(self) -> list[str]:
+        return _keys_mismatch("frequency table", self._meta, self._sizes)
+
+
+@register_policy
+class ClockPolicy(CachePolicy):
+    """Second-chance (CLOCK): the historical buffer-pool policy.
+
+    The sweep is a byte-for-byte port of the pool's original
+    ``_evict_one``: up to two laps clearing reference bits, skipping
+    unevictable (pinned) keys, then a last-resort pass that takes the
+    first evictable key in ring order.  The hand survives removals the
+    same way the pool's did (indices below the hand pull it back one).
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ring: list[Hashable] = []
+        self._ref: dict[Hashable, bool] = {}
+        self._hand = 0
+
+    def _insert(self, key: Hashable) -> None:
+        self._ring.append(key)
+        self._ref[key] = True
+
+    def _hit(self, key: Hashable) -> None:
+        self._ref[key] = True
+
+    def _remove(self, key: Hashable) -> None:
+        index = self._ring.index(key)
+        self._ring.pop(index)
+        if index < self._hand:
+            self._hand -= 1
+        del self._ref[key]
+
+    def _reset(self) -> None:
+        self._ring.clear()
+        self._ref.clear()
+        self._hand = 0
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        ring = self._ring
+        ref = self._ref
+        attempts = 0
+        limit = 2 * len(ring)
+        while attempts < limit and ring:
+            self._hand %= len(ring)
+            key = ring[self._hand]
+            if not evictable(key):
+                self._hand += 1
+            elif ref[key]:
+                ref[key] = False
+                self._hand += 1
+            else:
+                return key
+            attempts += 1
+        # Two laps found nothing unreferenced: take the first evictable.
+        for key in ring:
+            if evictable(key):
+                return key
+        return None
+
+    def self_check(self) -> list[str]:
+        problems = []
+        if len(self._ring) != len(set(self._ring)):
+            problems.append("clock ring contains duplicate keys")
+        problems += _keys_mismatch("clock ring", self._ring, self._sizes)
+        problems += _keys_mismatch("reference bits", self._ref, self._sizes)
+        if self._ring and not 0 <= self._hand <= len(self._ring):
+            problems.append(f"clock hand {self._hand} outside ring of {len(self._ring)}")
+        return problems
+
+
+@register_policy
+class S3FifoPolicy(CachePolicy):
+    """S3-FIFO: small probationary FIFO, main FIFO, and a ghost queue.
+
+    New keys enter the small queue (unless the ghost queue remembers a
+    recent eviction, which routes them straight to main).  Eviction
+    prefers the small queue once it holds ~10% of the byte budget:
+    touched entries promote to main, untouched ones fall out into the
+    ghost queue.  Main evicts FIFO-with-reinsertion (a hit buys one more
+    lap), bounded to two laps like the clock sweep.
+    """
+
+    name = "s3fifo"
+
+    #: hit counter saturation (matches the published design).
+    _FREQ_CAP = 3
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._small: dict[Hashable, None] = {}
+        self._main: dict[Hashable, None] = {}
+        self._freq: dict[Hashable, int] = {}
+        #: recently-evicted-from-small keys (metadata only, not resident).
+        self._ghost: dict[Hashable, None] = {}
+
+    def _insert(self, key: Hashable) -> None:
+        if key in self._ghost:
+            del self._ghost[key]
+            self._main[key] = None
+        else:
+            self._small[key] = None
+        self._freq[key] = 0
+
+    def _hit(self, key: Hashable) -> None:
+        count = self._freq[key]
+        if count < self._FREQ_CAP:
+            self._freq[key] = count + 1
+
+    def _remove(self, key: Hashable) -> None:
+        self._small.pop(key, None)
+        self._main.pop(key, None)
+        del self._freq[key]
+
+    def _reset(self) -> None:
+        self._small.clear()
+        self._main.clear()
+        self._freq.clear()
+        self._ghost.clear()
+
+    def _small_bytes(self) -> int:
+        sizes = self._sizes
+        return sum(sizes[key] for key in self._small)
+
+    def _ghost_insert(self, key: Hashable) -> None:
+        self._ghost[key] = None
+        cap = max(1, len(self._small) + len(self._main))
+        ghost = self._ghost
+        while len(ghost) > cap:
+            del ghost[next(iter(ghost))]
+
+    def _scan_small(self, evictable) -> Optional[Hashable]:
+        main = self._main
+        freq = self._freq
+        for key in list(self._small):
+            if freq[key] > 0:
+                # Touched while on probation: promote to main.
+                del self._small[key]
+                main[key] = None
+                freq[key] = 0
+                continue
+            if not evictable(key):
+                continue
+            self._ghost_insert(key)
+            return key
+        return None
+
+    def _scan_main(self, evictable) -> Optional[Hashable]:
+        main = self._main
+        freq = self._freq
+        attempts = 0
+        limit = 2 * len(main)
+        while main and attempts < limit:
+            key = next(iter(main))
+            attempts += 1
+            if freq[key] > 0:
+                # Reinsertion: a hit buys one more lap through the queue.
+                freq[key] -= 1
+                del main[key]
+                main[key] = None
+                continue
+            if not evictable(key):
+                # Rotate past unevictable entries so the sweep advances.
+                del main[key]
+                main[key] = None
+                continue
+            return key
+        for key in main:
+            if evictable(key):
+                return key
+        return None
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        small_target = self.capacity_bytes // 10
+        if self._small and (self._small_bytes() >= small_target or not self._main):
+            victim = self._scan_small(evictable)
+            if victim is not None:
+                return victim
+        victim = self._scan_main(evictable)
+        if victim is not None:
+            return victim
+        return self._scan_small(evictable)
+
+    def self_check(self) -> list[str]:
+        problems = []
+        resident = dict(self._small)
+        overlap = [key for key in self._main if key in resident]
+        if overlap:
+            problems.append(f"keys {overlap!r} are in both small and main queues")
+        resident.update(self._main)
+        problems += _keys_mismatch("small+main queues", resident, self._sizes)
+        problems += _keys_mismatch("frequency table", self._freq, self._sizes)
+        ghosted = [key for key in self._ghost if key in self._sizes]
+        if ghosted:
+            problems.append(f"resident keys {ghosted!r} are also in the ghost queue")
+        return problems
+
+
+@register_policy
+class MgLruPolicy(CachePolicy):
+    """MGLRU-style generational policy.
+
+    Keys carry the generation number current at their last access; the
+    generation counter advances every ``aging_interval`` admissions, so
+    recency is tracked at *generation* granularity instead of per-access
+    order.  Eviction takes the minimum ``(generation, insertion_seq)``
+    evictable key: the oldest generation drains FIFO before any younger
+    generation is touched — a coarse, scan-resistant cousin of LRU.
+    """
+
+    name = "mglru"
+
+    def __init__(self, aging_interval: int = 32) -> None:
+        super().__init__()
+        if aging_interval < 1:
+            raise ValueError("aging_interval must be >= 1")
+        self.aging_interval = aging_interval
+        #: key -> [generation_at_last_access, insertion_sequence]
+        self._meta: dict[Hashable, list[int]] = {}
+        self._generation = 0
+        self._seq = 0
+        self._admissions = 0
+
+    def _insert(self, key: Hashable) -> None:
+        self._admissions += 1
+        if self._admissions % self.aging_interval == 0:
+            self._generation += 1
+        self._seq += 1
+        self._meta[key] = [self._generation, self._seq]
+
+    def _hit(self, key: Hashable) -> None:
+        self._meta[key][0] = self._generation
+
+    def _remove(self, key: Hashable) -> None:
+        del self._meta[key]
+
+    def _reset(self) -> None:
+        self._meta.clear()
+        self._generation = 0
+        self._seq = 0
+        self._admissions = 0
+
+    def evict_candidate(self, is_evictable: Evictable = None) -> Optional[Hashable]:
+        evictable = is_evictable or _always
+        best: Optional[Hashable] = None
+        best_meta: Optional[list[int]] = None
+        for key, meta in self._meta.items():
+            if best_meta is not None and (meta[0], meta[1]) >= (best_meta[0], best_meta[1]):
+                continue
+            if evictable(key):
+                best, best_meta = key, meta
+        return best
+
+    def self_check(self) -> list[str]:
+        problems = _keys_mismatch("generation table", self._meta, self._sizes)
+        stale_gen = [key for key, meta in self._meta.items() if meta[0] > self._generation]
+        if stale_gen:
+            problems.append(f"keys {stale_gen!r} carry generations from the future")
+        return problems

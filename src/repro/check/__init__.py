@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.check.flags import sanitize_enabled, set_sanitize
 from repro.check.reprolint import RULES, Finding, Rule, lint_paths, lint_source
 from repro.check.sanitizer import (
+    CacheSanitizer,
     CheckBackAuditor,
     CheckError,
     ClockMonotonicityGuard,
@@ -32,10 +33,12 @@ from repro.check.sanitizer import (
     check_indexy,
     check_lsm,
     check_no_leaked_pins,
+    check_policy_cache,
     check_release_watermark,
 )
 
 __all__ = [
+    "CacheSanitizer",
     "CheckBackAuditor",
     "CheckError",
     "ClockMonotonicityGuard",
@@ -54,6 +57,7 @@ __all__ = [
     "check_indexy",
     "check_lsm",
     "check_no_leaked_pins",
+    "check_policy_cache",
     "check_release_watermark",
     "lint_paths",
     "lint_source",

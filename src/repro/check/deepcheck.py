@@ -496,9 +496,9 @@ def _frames_mutation(elem: ast.AST) -> bool:
     )
 
 
-def _clock_order_mutation(elem: ast.AST) -> bool:
-    return _mutates_subscript_of(elem, "_clock_order") or _calls_method_on(
-        elem, "_clock_order", _LIST_MUTATORS
+def _policy_notification(elem: ast.AST) -> bool:
+    return _calls_method_on(
+        elem, "_policy", frozenset({"on_insert", "on_remove", "reset"})
     )
 
 
@@ -525,13 +525,13 @@ _PAIRS: tuple[MutationPair, ...] = (
         "to exit (the proactive write-back trigger reads it)",
     ),
     MutationPair(
-        "_frames/_clock_order",
+        "_frames/_policy",
         ("diskbtree/",),
         (),
         _frames_mutation,
-        _clock_order_mutation,
-        "a frame-map mutation must keep the clock-sweep order list in sync "
-        "on every path to exit",
+        _policy_notification,
+        "a frame-map mutation must notify the eviction policy (on_insert / "
+        "on_remove) on every path to exit",
     ),
     MutationPair(
         "cpu_ns/background_ns",

@@ -43,6 +43,13 @@ RL008    router-dispatch-shared-state: inside ``shard/`` modules, no
          local before the loop).  A router-side lock or shared counter
          on the data path would serialize exactly the concurrency the
          sharded layer exists to provide.
+RL009    policy-determinism: inside ``cache/`` modules, no ``time`` /
+         ``random`` / ``os`` imports and no iteration over bare ``set``
+         values (set literals, set comprehensions, ``set()`` /
+         ``frozenset()`` calls).  Eviction decisions must be a pure
+         function of the hook-call sequence — hash-order iteration or
+         environmental input would silently break the byte-identical
+         results contract for every system the policy serves.
 =======  ==============================================================
 
 A finding on a given line is suppressed by the inline pragma
@@ -112,6 +119,11 @@ RULES: tuple[Rule, ...] = (
         "router-dispatch-shared-state",
         "no lock acquisition or shared-mutable-state writes in shard dispatch loops",
     ),
+    Rule(
+        "RL009",
+        "policy-determinism",
+        "cache-policy modules: no time/random/os imports, no bare-set iteration",
+    ),
 )
 
 #: substrate classes whose construction is reserved to ``repro/sim``.
@@ -159,6 +171,10 @@ _MUTABLE_CONSTRUCTORS = frozenset(
 #: packages forming the simulator's hot paths; RL007 polices wall-clock
 #: overhead patterns in these modules only.
 _HOT_PREFIXES = ("art/", "lsm/", "sim/", "diskbtree/")
+
+#: imports that would let a cache policy observe anything beyond its
+#: hook-call sequence (RL009).
+_POLICY_BANNED_IMPORTS = frozenset({"time", "random", "os"})
 
 #: method names whose in-loop invocation on ``self``-rooted state means
 #: the dispatch loop is mutating shared router state (RL008).
@@ -212,6 +228,7 @@ class _Visitor(ast.NodeVisitor):
         self.findings: list[tuple[int, int, str, str]] = []
         self._hot = _is_hot(rel)
         self._shard = rel.startswith("shard/")
+        self._policy = rel.startswith("cache/")
         self._func_depth = 0
         self._loop_depth = 0
 
@@ -249,8 +266,44 @@ class _Visitor(ast.NodeVisitor):
         parts.append(cur.id)
         return ".".join(reversed(parts))
 
+    # -- RL009: bare-set iteration in policy modules -------------------
+    @staticmethod
+    def _is_bare_set(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in ("set", "frozenset")
+        return False
+
+    def _check_policy_iteration(self, iter_expr: ast.expr) -> None:
+        if self._policy and self._is_bare_set(iter_expr):
+            self._add(
+                iter_expr,
+                "RL009",
+                "iteration over a bare set is hash-order-dependent; policy "
+                "decisions must iterate insertion-ordered dicts or lists",
+            )
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._check_policy_iteration(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
     # -- RL007: loop / function-scope tracking -------------------------
     def _visit_for(self, node: ast.For | ast.AsyncFor) -> None:
+        self._check_policy_iteration(node.iter)
         # The iterator expression runs once, outside the per-iteration
         # cost, so it is visited at the enclosing loop depth.
         self.visit(node.iter)
@@ -434,6 +487,14 @@ class _Visitor(ast.NodeVisitor):
     # -- RL003 / RL004: imports ----------------------------------------
     def _check_import(self, node: ast.Import | ast.ImportFrom, module: str) -> None:
         root = module.split(".")[0]
+        if self._policy and root in _POLICY_BANNED_IMPORTS:
+            self._add(
+                node,
+                "RL009",
+                f"import of '{root}' in a cache-policy module; eviction "
+                "decisions must be a pure function of the hook-call sequence",
+            )
+            return
         if root in _WALL_CLOCK_MODULES:
             self._add(
                 node,

@@ -57,6 +57,7 @@ from repro.core.adapters import ARTIndexX, BTreeIndexX
 from repro.core.multi_y import RoutedIndexY
 from repro.diskbtree.bufferpool import BufferPool
 from repro.diskbtree.page import InnerPage, LeafPage
+from repro.cache.bytecache import PolicyCache
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.lsm.store import TOMBSTONE, LSMStore
 
@@ -68,6 +69,7 @@ if TYPE_CHECKING:
 __all__ = [
     "Violation",
     "CheckError",
+    "CacheSanitizer",
     "CheckBackAuditor",
     "ClockMonotonicityGuard",
     "IndexSanitizer",
@@ -82,6 +84,7 @@ __all__ = [
     "check_indexy",
     "check_lsm",
     "check_no_leaked_pins",
+    "check_policy_cache",
     "check_release_watermark",
     "check_shard_router",
 ]
@@ -526,23 +529,104 @@ def check_no_leaked_pins(pool: BufferPool) -> list[Violation]:
 
 
 def check_buffer_pool(pool: BufferPool) -> list[Violation]:
-    """Frame-table / clock-ring bookkeeping agreement."""
+    """Frame-table / eviction-policy bookkeeping agreement."""
     out = _Collector()
-    ring = pool._clock_order
-    if len(ring) != len(set(ring)):
-        out.add("bufferpool-ring", "clock ring contains duplicate page ids")
-    if set(ring) != set(pool._frames):
-        missing = set(pool._frames) - set(ring)
-        extra = set(ring) - set(pool._frames)
+    policy = pool.policy
+    for problem in policy.self_check():
+        out.add("bufferpool-policy", f"{policy.name}: {problem}")
+    tracked = set(policy.keys())
+    if tracked != set(pool._frames):
+        missing = set(pool._frames) - tracked
+        extra = tracked - set(pool._frames)
         out.add(
-            "bufferpool-ring",
-            f"clock ring and frame table disagree (missing={sorted(missing)}, "
+            "bufferpool-policy",
+            f"eviction policy and frame table disagree (missing={sorted(missing)}, "
             f"stale={sorted(extra)})",
+        )
+    expected = len(pool._frames) * pool.config.page_size
+    if policy.used_bytes != expected:
+        out.add(
+            "bufferpool-bytes",
+            f"policy accounts {policy.used_bytes} resident bytes but the frame "
+            f"table holds {expected}",
+        )
+    pinned = sum(1 for f in pool._frames.values() if f.pins > 0)
+    if pinned == 0 and len(pool._frames) > pool.capacity_frames:
+        out.add(
+            "bufferpool-overcommit",
+            f"{len(pool._frames)} frames resident with nothing pinned, but the "
+            f"budget is {pool.capacity_frames} frames",
         )
     for pid, frame in pool._frames.items():
         if frame.pins < 0:
             out.add("bufferpool-pins", f"page {pid} has negative pin count {frame.pins}")
     return out.violations
+
+
+def check_policy_cache(cache: PolicyCache, label: str = "cache") -> list[Violation]:
+    """Entry-table / policy-metadata / byte-budget agreement of one cache."""
+    out = _Collector()
+    policy = cache.policy
+    for problem in policy.self_check():
+        out.add("cache-policy", f"{label} [{policy.name}]: {problem}")
+    tracked = set(policy.keys())
+    entries = set(cache._entries)
+    if tracked != entries:
+        missing = sorted(entries - tracked, key=repr)
+        stale = sorted(tracked - entries, key=repr)
+        out.add(
+            "cache-policy",
+            f"{label}: policy and entry table disagree (missing={missing!r}, "
+            f"stale={stale!r})",
+        )
+    charged = sum(size for __, size in cache._entries.values())
+    if cache.used_bytes != charged:
+        out.add(
+            "cache-bytes",
+            f"{label}: used_bytes={cache.used_bytes} but entries charge {charged}",
+        )
+    if policy.used_bytes != cache.used_bytes:
+        out.add(
+            "cache-bytes",
+            f"{label}: policy accounts {policy.used_bytes} bytes, cache "
+            f"accounts {cache.used_bytes}",
+        )
+    if cache.used_bytes > cache.capacity_bytes:
+        out.add(
+            "cache-budget",
+            f"{label}: {cache.used_bytes} resident bytes exceed the "
+            f"{cache.capacity_bytes}-byte budget",
+        )
+    return out.violations
+
+
+class CacheSanitizer:
+    """Periodic consistency checks over a set of labelled ``PolicyCache``s.
+
+    The cache-sweep harness registers every byte cache of the system under
+    test; ``after_op`` sweeps them every ``interval`` operations and raises
+    :class:`CheckError` on the first inconsistency (resident bytes over
+    budget, policy metadata out of sync with the entry table).
+    """
+
+    def __init__(self, caches: dict[str, PolicyCache], interval: int = 256) -> None:
+        self.caches = dict(caches)
+        self.interval = max(1, interval)
+        self.checks_run = 0
+        self._ops = 0
+
+    def after_op(self) -> None:
+        self._ops += 1
+        if self._ops % self.interval == 0:
+            self.check_now()
+
+    def check_now(self) -> None:
+        self.checks_run += 1
+        violations: list[Violation] = []
+        for label, cache in self.caches.items():
+            violations += check_policy_cache(cache, label)
+        if violations:
+            raise CheckError(violations)
 
 
 # ----------------------------------------------------------------------
@@ -557,6 +641,11 @@ def check_lsm(store: LSMStore, max_deep_tables: Optional[int] = None) -> list[Vi
     it only runs when the budget covers the whole store.
     """
     out = _Collector()
+    for violation in check_policy_cache(store.block_cache, "lsm-block-cache"):
+        out.add(violation.check, violation.message)
+    if store.row_cache is not None:
+        for violation in check_policy_cache(store.row_cache, "lsm-row-cache"):
+            out.add(violation.check, violation.message)
     for level in range(1, store.config.max_levels):
         tables = store.levels[level]
         for i, table in enumerate(tables):

@@ -22,7 +22,7 @@ on-disk B+ tree both do).
 """
 
 from repro.core.adapters import ARTIndexX, BTreeIndexX
-from repro.core.config import IndeXYConfig
+from repro.core.config import CachePolicyConfig, IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.core.interfaces import IndexX, IndexY, SubtreeRef
 from repro.core.membudget import MemoryBudget
@@ -33,6 +33,7 @@ from repro.core.release import ReleasePolicy, select_for_release
 __all__ = [
     "ARTIndexX",
     "BTreeIndexX",
+    "CachePolicyConfig",
     "IndeXY",
     "IndeXYConfig",
     "IndexX",

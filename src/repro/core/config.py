@@ -2,7 +2,60 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class CachePolicyConfig:
+    """Per-layer eviction-policy selection (DESIGN.md §9).
+
+    One knob per caching layer: ``pool`` drives the page buffer pools
+    (disk-B+ trees), ``block`` the LSM block cache, ``row`` the
+    RocksDB-like row cache.  The defaults reproduce the historical
+    hard-coded behaviour — CLOCK in the pools, LRU in the byte caches —
+    so every committed result is unchanged unless a policy is chosen
+    explicitly.
+    """
+
+    pool: str = "clock"
+    block: str = "lru"
+    row: str = "lru"
+
+    def __post_init__(self) -> None:
+        from repro.cache.policy import policy_names
+
+        known = policy_names()
+        for field in fields(self):
+            name = getattr(self, field.name)
+            if name not in known:
+                raise ValueError(
+                    f"unknown cache policy {name!r} for layer {field.name!r}; "
+                    f"registered policies: {', '.join(known)}"
+                )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "CachePolicyConfig":
+        """Parse a ``layer=policy`` list, e.g. ``block=s3fifo,row=lfu``.
+
+        Unnamed layers keep their defaults; this is the grammar behind
+        system specs like ``ART-LSM@block=s3fifo,row=lfu``.
+        """
+        layers = {field.name for field in fields(cls)}
+        chosen: dict[str, str] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            layer, sep, policy = part.partition("=")
+            if not sep or not policy or layer not in layers:
+                raise ValueError(
+                    f"bad cache-policy spec {part!r}; expected layer=policy with "
+                    f"layer one of {', '.join(sorted(layers))}"
+                )
+            if layer in chosen:
+                raise ValueError(f"layer {layer!r} named twice in spec {spec!r}")
+            chosen[layer] = policy
+        return cls(**chosen)
 
 
 @dataclass(frozen=True)

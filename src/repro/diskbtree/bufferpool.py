@@ -5,8 +5,11 @@ Frames hold decoded page objects (the "swizzled" representation: child page
 ids resolve through the pool without re-decoding).  Two mechanisms move
 pages out:
 
-* **Eviction on pressure** — a clock (second-chance) sweep picks frames
-  whose reference bit has expired; dirty victims are written back first.
+* **Eviction on pressure** — a pluggable :class:`~repro.cache.policy.
+  CachePolicy` (``clock``, the historical second-chance sweep, by
+  default) picks the victim frame; pinned frames are vetoed through the
+  policy's ``is_evictable`` hook, and dirty victims are written back
+  first.
 * **Proactive write-back** — when the dirty fraction of the pool crosses a
   threshold, the frames with the *most dirty entries* are flushed and
   evicted first.  This is LeanStore's policy as described in the paper's
@@ -24,8 +27,9 @@ foreground path — a faulting access cannot proceed without a free frame.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.cache.policy import make_policy
 from repro.diskbtree.page import Page, copy_page, decode_page, encode_page
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
@@ -40,22 +44,24 @@ class BufferPoolConfig:
 
     ``capacity_bytes`` counts whole page frames.  ``dirty_fraction`` and
     ``writeback_batch_fraction`` control the proactive flush behaviour.
+    ``policy`` names the eviction policy (any name registered with
+    :func:`repro.cache.policy.register_policy`).
     """
 
     capacity_bytes: int
     page_size: int = 4096
     dirty_fraction: float = 0.5
     writeback_batch_fraction: float = 0.1
+    policy: str = "clock"
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "dirty_entries", "referenced", "pins")
+    __slots__ = ("page", "dirty", "dirty_entries", "pins")
 
     def __init__(self, page: Page) -> None:
         self.page = page
         self.dirty = False
         self.dirty_entries = 0
-        self.referenced = True
         self.pins = 0
 
 
@@ -84,8 +90,8 @@ class BufferPool:
         self.costs = costs or CostModel()
         self.stats = StatCounters()  # component-local counters  # reprolint: allow[RL001]
         self._frames: dict[int, _Frame] = {}
-        self._clock_order: list[int] = []
-        self._hand = 0
+        self._policy = make_policy(config.policy)
+        self._policy.set_capacity(config.capacity_bytes)
         self._capacity_frames = config.capacity_bytes // config.page_size
         self._dirty_fraction = config.dirty_fraction
         self._dirty_count = 0  # incremental mirror of per-frame dirty bits
@@ -123,6 +129,15 @@ class BufferPool:
     def used_bytes(self) -> int:
         return len(self._frames) * self.config.page_size
 
+    @property
+    def policy(self):
+        """The live :class:`~repro.cache.policy.CachePolicy` instance."""
+        return self._policy
+
+    @property
+    def policy_name(self) -> str:
+        return self._policy.name
+
     def is_resident(self, pid: int) -> bool:
         return pid in self._frames
 
@@ -130,7 +145,7 @@ class BufferPool:
         """Return the page, faulting it in from disk on a miss."""
         frame = self._frames.get(pid)
         if frame is not None:
-            frame.referenced = True
+            self._policy.on_hit(pid)
             self.stats.bump("pool_hits")
             return frame.page
         self.stats.bump("pool_misses")
@@ -155,7 +170,7 @@ class BufferPool:
             frame.dirty = True
             self._dirty_count += 1
         frame.dirty_entries += mutated_entries
-        frame.referenced = True
+        self._policy.on_hit(pid)
         self._maybe_proactive_writeback()
 
     def pin(self, pid: int) -> None:
@@ -173,8 +188,25 @@ class BufferPool:
             frame = self._frames.pop(pid)
             if frame.dirty:
                 self._dirty_count -= 1
-            self._clock_order.remove(pid)
+            self._policy.on_remove(pid)
         self.disk.free(pid)
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Re-budget the pool, evicting down through the policy.
+
+        The shared resize seam for ``set_memory_limit``: frames leave in
+        exactly the order the policy would have chosen under organic
+        pressure, and pinned frames are never evicted (the pool stays
+        temporarily overcommitted instead, like ``_admit``).
+        """
+        if capacity_bytes < 2 * self.config.page_size:
+            raise ValueError("buffer pool must hold at least two pages")
+        self.config = replace(self.config, capacity_bytes=capacity_bytes)
+        self._capacity_frames = capacity_bytes // self.config.page_size
+        self._policy.set_capacity(capacity_bytes)
+        while len(self._frames) > self._capacity_frames:
+            if not self._evict_one():
+                break  # everything pinned: temporarily overcommit
 
     # ------------------------------------------------------------------
     # eviction / write-back
@@ -188,41 +220,25 @@ class BufferPool:
         if dirty:
             self._dirty_count += 1
         self._frames[pid] = frame
-        self._clock_order.append(pid)
+        self._policy.on_insert(pid, self.config.page_size)
+
+    def _is_unpinned(self, pid: int) -> bool:
+        return self._frames[pid].pins == 0
 
     def _evict_one(self) -> bool:
-        """Second-chance sweep; returns False if nothing is evictable."""
-        attempts = 0
-        limit = 2 * len(self._clock_order)
-        while attempts < limit and self._clock_order:
-            self._hand %= len(self._clock_order)
-            pid = self._clock_order[self._hand]
-            frame = self._frames[pid]
-            if frame.pins > 0:
-                self._hand += 1
-            elif frame.referenced:
-                frame.referenced = False
-                self._hand += 1
-            else:
-                self._evict_frame(pid)
-                return True
-            attempts += 1
-        # Second pass found nothing unreferenced: evict the first unpinned.
-        for pid in list(self._clock_order):
-            if self._frames[pid].pins == 0:
-                self._evict_frame(pid)
-                return True
-        return False
+        """Ask the policy for a victim; returns False if everything is pinned."""
+        victim = self._policy.evict_candidate(self._is_unpinned)
+        if victim is None:
+            return False
+        self._evict_frame(victim)
+        return True
 
     def _evict_frame(self, pid: int) -> None:
         frame = self._frames[pid]
         if frame.dirty:
             self._write_back(pid, frame)
         del self._frames[pid]
-        index = self._clock_order.index(pid)
-        self._clock_order.pop(index)
-        if index < self._hand:
-            self._hand -= 1
+        self._policy.on_remove(pid)
         self.stats.bump("evictions")
 
     def _write_back(self, pid: int, frame: _Frame) -> None:

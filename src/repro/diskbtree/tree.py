@@ -32,6 +32,7 @@ class DiskBPlusTree:
         disk: SimDisk | None = None,
         pool_bytes: int = 0,
         page_size: int = 4096,
+        pool_policy: str = "clock",
         clock: SimClock | None = None,
         costs: CostModel | None = None,
         runtime: "EngineRuntime | None" = None,
@@ -47,7 +48,9 @@ class DiskBPlusTree:
         self.page_size = page_size
         self.pool = BufferPool(
             disk,
-            BufferPoolConfig(capacity_bytes=pool_bytes, page_size=page_size),
+            BufferPoolConfig(
+                capacity_bytes=pool_bytes, page_size=page_size, policy=pool_policy
+            ),
             clock=clock,
             costs=self.costs,
             runtime=runtime,

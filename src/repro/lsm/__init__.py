@@ -19,7 +19,7 @@ levels (Figure 8's Benchmark E weakness).
 """
 
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.cache import LRUCache
+from repro.lsm.cache import LRUCache, PolicyCache
 from repro.lsm.memtable import MemTable
 from repro.lsm.sstable import SSTable
 from repro.lsm.store import LSMConfig, LSMStore, TOMBSTONE
@@ -28,6 +28,7 @@ __all__ = [
     "TOMBSTONE",
     "BloomFilter",
     "LRUCache",
+    "PolicyCache",
     "LSMConfig",
     "LSMStore",
     "MemTable",

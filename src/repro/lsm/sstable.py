@@ -15,7 +15,7 @@ from struct import Struct
 from typing import Iterator, Optional
 
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.cache import LRUCache
+from repro.lsm.cache import PolicyCache
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
@@ -161,7 +161,7 @@ class SSTable:
         return max(i, 0)
 
     def _load_block(
-        self, index: int, block_cache: LRUCache | None
+        self, index: int, block_cache: PolicyCache | None
     ) -> list[tuple[bytes, bytes]]:
         cache_key = (self.table_id, index)
         if block_cache is not None:
@@ -177,7 +177,7 @@ class SSTable:
     def get(
         self,
         key: bytes,
-        block_cache: LRUCache | None = None,
+        block_cache: PolicyCache | None = None,
         clock: SimClock | None = None,
         costs: CostModel | None = None,
     ) -> Optional[bytes]:
@@ -200,7 +200,7 @@ class SSTable:
         return None
 
     def iter_from(
-        self, start: bytes | None = None, block_cache: LRUCache | None = None
+        self, start: bytes | None = None, block_cache: PolicyCache | None = None
     ) -> Iterator[tuple[bytes, bytes]]:
         """Yield pairs with key >= ``start`` in order, reading block by block."""
         first = 0 if start is None else self._block_index_for(start)
@@ -209,7 +209,7 @@ class SSTable:
                 if start is None or key >= start:
                     yield key, value
 
-    def iter_all(self, block_cache: LRUCache | None = None) -> Iterator[tuple[bytes, bytes]]:
+    def iter_all(self, block_cache: PolicyCache | None = None) -> Iterator[tuple[bytes, bytes]]:
         return self.iter_from(None, block_cache)
 
     # ------------------------------------------------------------------

@@ -20,10 +20,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
-from repro.lsm.cache import LRUCache
+from repro.lsm.cache import PolicyCache
 from repro.lsm.memtable import MemTable
 from repro.lsm.sstable import SSTable
 from repro.sim.clock import SimClock
@@ -50,6 +50,10 @@ class LSMConfig:
     block_size: int = 4096
     block_cache_bytes: int = 256 * 1024
     row_cache_bytes: int = 0
+    #: eviction policies (``repro.cache`` registry names); LRU is the
+    #: historical behaviour and keeps committed results byte-identical.
+    block_cache_policy: str = "lru"
+    row_cache_policy: str = "lru"
     bits_per_key: int = 10
     level0_table_limit: int = 4
     level1_bytes: int = 1 * 1024 * 1024
@@ -98,9 +102,13 @@ class LSMStore:
         #: changes.  Pure wall-clock: the bisect sees the same list either
         #: way, so simulated results are untouched.
         self._min_keys: list[Optional[list[bytes]]] = [None] * self.config.max_levels
-        self.block_cache = LRUCache(self.config.block_cache_bytes)
+        self.block_cache = PolicyCache(
+            self.config.block_cache_bytes, self.config.block_cache_policy
+        )
         self.row_cache = (
-            LRUCache(self.config.row_cache_bytes) if self.config.row_cache_bytes else None
+            PolicyCache(self.config.row_cache_bytes, self.config.row_cache_policy)
+            if self.config.row_cache_bytes
+            else None
         )
 
     def _new_memtable(self) -> MemTable:
@@ -371,6 +379,39 @@ class LSMStore:
                 self.costs.compare_cost(len(out) * max(1, len(sources)))
             )
         return out
+
+    # ------------------------------------------------------------------
+    # live re-budgeting
+    # ------------------------------------------------------------------
+    def resize_caches(
+        self,
+        block_cache_bytes: int,
+        row_cache_bytes: int | None = None,
+        memtable_bytes: int | None = None,
+    ) -> None:
+        """Re-budget the live read caches (and the MemTable threshold).
+
+        The one resize seam for every memory-limit change: caches shrink
+        through their eviction policy (same victims a full workload at
+        the smaller budget would have picked next), they are never
+        dropped and rebuilt, and ``config`` is kept in sync so
+        ``memory_bytes`` accounting stays truthful.
+        """
+        changes: dict[str, int] = {"block_cache_bytes": block_cache_bytes}
+        self.block_cache.resize(block_cache_bytes)
+        if row_cache_bytes is not None:
+            changes["row_cache_bytes"] = row_cache_bytes
+            if self.row_cache is not None:
+                self.row_cache.resize(row_cache_bytes)
+                if row_cache_bytes == 0:
+                    self.row_cache = None
+            elif row_cache_bytes > 0:
+                self.row_cache = PolicyCache(row_cache_bytes, self.config.row_cache_policy)
+        if memtable_bytes is not None:
+            changes["memtable_bytes"] = memtable_bytes
+        self.config = replace(self.config, **changes)
+        if memtable_bytes is not None and self._memtable.size_bytes >= memtable_bytes:
+            self.flush()
 
     # ------------------------------------------------------------------
     # accounting

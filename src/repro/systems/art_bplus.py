@@ -11,7 +11,7 @@ from typing import Any, Iterable, Optional
 
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.adapters import ARTIndexX
-from repro.core.config import IndeXYConfig
+from repro.core.config import CachePolicyConfig, IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.sim.costs import CostModel
@@ -58,19 +58,24 @@ class ArtBPlusSystem(KVSystem):
         page_size: int = 4096,
         transfer_pool_bytes: int | None = None,
         indexy_config: IndeXYConfig | None = None,
+        cache_policies: CachePolicyConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
         **indexy_kwargs: Any,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
+        policies = cache_policies or CachePolicyConfig()
         # Floor of 24 pages: the paper's 512 MB-of-5 GB transfer pool
         # cannot scale below a handful of frames without thrashing.
         pool = transfer_pool_bytes or max(24 * page_size, memory_limit_bytes // 8)
         config = indexy_config or IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))
         tree = DiskBPlusTree(
-            pool_bytes=pool, page_size=page_size, runtime=self.runtime
+            pool_bytes=pool,
+            page_size=page_size,
+            pool_policy=policies.pool,
+            runtime=self.runtime,
         )
         self.y_tree = tree
         from repro.check.flags import sanitize_enabled

@@ -10,7 +10,7 @@ from typing import Any, Iterable, Optional
 
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.adapters import ARTIndexX
-from repro.core.config import IndeXYConfig
+from repro.core.config import CachePolicyConfig, IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.lsm.store import LSMConfig, LSMStore
 from repro.sim.costs import CostModel
@@ -27,18 +27,22 @@ class ArtLsmSystem(KVSystem):
         memory_limit_bytes: int,
         lsm_config: LSMConfig | None = None,
         indexy_config: IndeXYConfig | None = None,
+        cache_policies: CachePolicyConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
         **indexy_kwargs: Any,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
+        policies = cache_policies or CachePolicyConfig()
         # Floors keep the transfer buffers useful at simulation scale:
         # a "few MB out of 5 GB" buffer cannot shrink below a handful of
         # blocks without becoming pure thrash (see DESIGN.md deviations).
         lsm_config = lsm_config or LSMConfig(
             memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
             block_cache_bytes=max(64 * 1024, memory_limit_bytes // 8),
+            block_cache_policy=policies.block,
+            row_cache_policy=policies.row,
         )
         config = indexy_config or IndeXYConfig(memory_limit_bytes=memory_limit_bytes)
         x = ARTIndexX(AdaptiveRadixTree(clock=self.clock, costs=self.costs))

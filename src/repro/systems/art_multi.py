@@ -12,7 +12,7 @@ from typing import Any, Optional
 
 from repro.art.tree import AdaptiveRadixTree
 from repro.core.adapters import ARTIndexX
-from repro.core.config import IndeXYConfig
+from repro.core.config import CachePolicyConfig, IndeXYConfig
 from repro.core.indexy import IndeXY
 from repro.core.multi_y import KeyRegionRouter, RoutedIndexY
 from repro.diskbtree.tree import DiskBPlusTree
@@ -33,16 +33,20 @@ class ArtMultiYSystem(KVSystem):
         page_size: int = 4096,
         region_prefix_bytes: int = 5,
         scan_threshold: float = 0.3,
+        cache_policies: CachePolicyConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
         **indexy_kwargs: Any,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
+        policies = cache_policies or CachePolicyConfig()
         lsm = LSMStore(
             config=LSMConfig(
                 memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
                 block_cache_bytes=max(64 * 1024, memory_limit_bytes // 16),
+                block_cache_policy=policies.block,
+                row_cache_policy=policies.row,
             ),
             runtime=self.runtime,
         )
@@ -51,6 +55,7 @@ class ArtMultiYSystem(KVSystem):
         btree = DiskBPlusTree(
             pool_bytes=max(48 * page_size, memory_limit_bytes // 8),
             page_size=page_size,
+            pool_policy=policies.pool,
             runtime=self.runtime,
         )
         router = KeyRegionRouter(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from repro.core.config import CachePolicyConfig
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.sim.costs import CostModel
 from repro.sim.runtime import EngineRuntime
@@ -29,15 +30,18 @@ class BPlusBPlusSystem(KVSystem):
         self,
         memory_limit_bytes: int,
         page_size: int = 4096,
+        cache_policies: CachePolicyConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
         debug_checks: bool | None = None,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
+        policies = cache_policies or CachePolicyConfig()
         self.tree = DiskBPlusTree(
             pool_bytes=memory_limit_bytes,
             page_size=page_size,
+            pool_policy=policies.pool,
             runtime=self.runtime,
         )
         self.sanitizer: Optional[Any] = None
@@ -142,6 +146,15 @@ class BPlusBPlusSystem(KVSystem):
 
     def flush(self) -> None:
         self.tree.flush_all()
+
+    def set_memory_limit(self, memory_limit_bytes: int) -> None:
+        """Re-budget the live buffer pool (the pool *is* the memory limit).
+
+        Shrinks evict through the pool's eviction policy — dirty victims
+        are written back, resident pages survive in policy order.
+        """
+        self.tree.pool.resize(memory_limit_bytes)
+        self._sanitize()
 
     @property
     def memory_bytes(self) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.core.config import CachePolicyConfig
 from repro.sim.costs import CostModel
 from repro.sim.threads import ThreadModel
 from repro.systems.art_bplus import ArtBPlusSystem
@@ -131,6 +132,19 @@ def registered_systems() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def parse_system_spec(spec: str) -> tuple[str, CachePolicyConfig | None]:
+    """Split ``name@layer=policy,...`` into (name, cache policies).
+
+    A bare name returns ``(name, None)``; the policy part, when present,
+    is parsed by :meth:`CachePolicyConfig.from_spec` (unknown layers and
+    policies fail with the registered lists).
+    """
+    name, sep, params = spec.partition("@")
+    if not sep:
+        return name, None
+    return name, CachePolicyConfig.from_spec(params)
+
+
 def build_system(
     name: str,
     memory_limit_bytes: int,
@@ -145,7 +159,20 @@ def build_system(
     paper's 5 GB / 30 GB limits, scaled; the ``Sharded`` system divides
     it equally over its shards).  ``page_size`` applies to the
     page-based structures only (Table II / Figure 10 sweeps).
+
+    ``name`` accepts cache-policy specs like ``ART-LSM@block=s3fifo`` or
+    ``B+-B+@pool=mglru``; the part after ``@`` selects per-layer eviction
+    policies (equivalent to passing ``cache_policies=``, which must not
+    be given alongside a spec).
     """
+    name, spec_policies = parse_system_spec(name)
+    if spec_policies is not None:
+        if kwargs.get("cache_policies") is not None:
+            raise ValueError(
+                f"system spec {name!r} already selects cache policies; "
+                "drop the explicit cache_policies argument"
+            )
+        kwargs["cache_policies"] = spec_policies
     builder = _REGISTRY.get(name)
     if builder is None:
         known = ", ".join(registered_systems())

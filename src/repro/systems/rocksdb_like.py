@@ -10,11 +10,28 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from repro.core.config import CachePolicyConfig
 from repro.lsm.store import LSMConfig, LSMStore
 from repro.sim.costs import CostModel
 from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem
+
+
+def _lsm_budgets(memory_limit_bytes: int) -> tuple[int, int, int]:
+    """(memtable, block cache, row cache) byte budgets for a memory limit.
+
+    Shared by construction and :meth:`RocksDbLikeSystem.set_memory_limit`
+    so a resized system is budgeted exactly like one built at the new
+    limit.  The paper enables RocksDB's row cache for the read study
+    (finer-than-block caching granularity); the floors keep each
+    component useful at simulation scale.
+    """
+    return (
+        max(32 * 1024, memory_limit_bytes // 20),
+        max(64 * 1024, memory_limit_bytes // 8),
+        max(8 * 1024, memory_limit_bytes // 50),
+    )
 
 
 class RocksDbLikeSystem(KVSystem):
@@ -24,18 +41,21 @@ class RocksDbLikeSystem(KVSystem):
         self,
         memory_limit_bytes: int,
         lsm_config: LSMConfig | None = None,
+        cache_policies: CachePolicyConfig | None = None,
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         runtime: EngineRuntime | None = None,
         debug_checks: bool | None = None,
     ) -> None:
         super().__init__(costs, thread_model, runtime=runtime)
+        policies = cache_policies or CachePolicyConfig()
+        memtable_bytes, block_cache_bytes, row_cache_bytes = _lsm_budgets(memory_limit_bytes)
         config = lsm_config or LSMConfig(
-            memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
-            block_cache_bytes=max(64 * 1024, memory_limit_bytes // 8),
-            # The paper enables RocksDB's row cache for the read study
-            # (finer-than-block caching granularity).
-            row_cache_bytes=max(8 * 1024, memory_limit_bytes // 50),
+            memtable_bytes=memtable_bytes,
+            block_cache_bytes=block_cache_bytes,
+            row_cache_bytes=row_cache_bytes,
+            block_cache_policy=policies.block,
+            row_cache_policy=policies.row,
         )
         self.store = LSMStore(config=config, runtime=self.runtime)
         self.sanitizer: Optional[Any] = None
@@ -131,6 +151,22 @@ class RocksDbLikeSystem(KVSystem):
 
     def flush(self) -> None:
         self.store.flush()
+
+    def set_memory_limit(self, memory_limit_bytes: int) -> None:
+        """Re-budget the live store to a new memory limit.
+
+        Routes through :meth:`LSMStore.resize_caches` — the same single
+        resize seam the buffer-pool systems use — so cache contents
+        survive (shrinks evict through the policy, they never rebuild
+        cold).
+        """
+        memtable_bytes, block_cache_bytes, row_cache_bytes = _lsm_budgets(memory_limit_bytes)
+        self.store.resize_caches(
+            block_cache_bytes,
+            row_cache_bytes=row_cache_bytes,
+            memtable_bytes=memtable_bytes,
+        )
+        self._sanitize()
 
     @property
     def memory_bytes(self) -> int:

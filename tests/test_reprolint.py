@@ -328,6 +328,60 @@ def test_rl008_only_applies_to_shard_modules():
     assert lint(src) == []
 
 
+# -- RL009: cache-policy determinism ------------------------------------
+
+POLICY = "src/repro/cache/fixture.py"
+
+
+def test_rl009_fires_on_banned_imports_in_policy_module():
+    assert rules_of(lint("import time\n", path=POLICY)) == ["RL009"]
+    assert rules_of(lint("import random\n", path=POLICY)) == ["RL009"]
+    assert rules_of(lint("from os import environ\n", path=POLICY)) == ["RL009"]
+
+
+def test_rl009_fires_on_bare_set_iteration():
+    src = """
+    def evict_candidate(self):
+        for key in set(self._meta):
+            return key
+        for key in {1, 2, 3}:
+            return key
+    """
+    assert rules_of(lint(src, path=POLICY)) == ["RL009", "RL009"]
+
+
+def test_rl009_fires_on_set_iteration_in_comprehensions():
+    src = """
+    def evict_candidate(self):
+        return [key for key in frozenset(self._meta)]
+    """
+    assert rules_of(lint(src, path=POLICY)) == ["RL009"]
+
+
+def test_rl009_quiet_on_ordered_iteration():
+    src = """
+    def evict_candidate(self):
+        for key in self._order:
+            return key
+        return [key for key in sorted(self._meta)]
+    """
+    assert lint(src, path=POLICY) == []
+
+
+def test_rl009_pragma_suppresses():
+    src = "import random  # reprolint: allow[RL009]\n"
+    assert lint(src, path=POLICY) == []
+
+
+def test_rl009_only_applies_to_cache_modules():
+    src = """
+    def pick(self):
+        for key in set(self.keys):
+            return key
+    """
+    assert lint(src) == []
+
+
 def test_rl008_pragma_suppresses():
     src = """
     def dispatch(self, batches):

@@ -356,14 +356,28 @@ def test_leaked_pin_detected():
 
 def test_buffer_pool_ring_corruption_detected():
     tree = build_disk_btree()
-    tree.pool._clock_order.pop()
-    assert "bufferpool-ring" in checks_of(check_buffer_pool(tree.pool))
+    victim = tree.pool.policy._ring.pop()
+    del tree.pool.policy._ref[victim]
+    assert "bufferpool-policy" in checks_of(check_buffer_pool(tree.pool))
 
 
 def test_buffer_pool_duplicate_ring_entry_detected():
     tree = build_disk_btree()
-    tree.pool._clock_order.append(tree.pool._clock_order[0])
-    assert "bufferpool-ring" in checks_of(check_buffer_pool(tree.pool))
+    tree.pool.policy._ring.append(tree.pool.policy._ring[0])
+    assert "bufferpool-policy" in checks_of(check_buffer_pool(tree.pool))
+
+
+def test_buffer_pool_policy_byte_drift_detected():
+    tree = build_disk_btree()
+    tree.pool.policy.used_bytes += tree.page_size
+    assert "bufferpool-bytes" in checks_of(check_buffer_pool(tree.pool))
+
+
+def test_buffer_pool_stale_policy_key_detected():
+    tree = build_disk_btree()
+    pid = next(tree.pool.policy.keys())
+    del tree.pool._frames[pid]
+    assert "bufferpool-policy" in checks_of(check_buffer_pool(tree.pool))
 
 
 def test_buffer_pool_negative_pin_detected():
