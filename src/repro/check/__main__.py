@@ -3,8 +3,11 @@
 Runs the reprolint AST rules over the given files/directories (default:
 the installed ``repro`` package source) and exits non-zero when any
 finding survives the inline pragmas.  ``--deep`` adds the RL1xx
-CFG/dataflow/call-graph rules (see :mod:`repro.check.deepcheck`);
-``--format json|sarif`` emits machine-readable output for CI upload.
+CFG/dataflow/call-graph rules (see :mod:`repro.check.deepcheck`) and the
+RL2xx concurrency rules (see :mod:`repro.check.racecheck`);
+``--unused-pragmas`` audits ``allow[...]`` pragmas that no longer
+suppress anything; ``--format json|sarif`` emits machine-readable output
+for CI upload.
 """
 
 from __future__ import annotations
@@ -20,15 +23,31 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.check.deepcheck import DEEP_RULES, deep_lint_paths
-from repro.check.reprolint import RULES, Finding, lint_paths
+from repro.check.racecheck import RACE_RULES, race_lint_paths
+from repro.check.reprolint import RULES, Finding, iter_pragmas, lint_paths
 
 #: SARIF 2.1.0 is the smallest schema GitHub code scanning ingests.
 _SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+#: rule family names keyed by id prefix, embedded in SARIF rule metadata
+#: so code-scanning UIs can group the three layers.
+_FAMILIES = (
+    ("RL2", "concurrency"),
+    ("RL1", "deep"),
+    ("RL0", "shallow"),
+)
 
 
 def _default_target() -> Path:
     # .../src/repro/check/__main__.py -> .../src/repro
     return Path(__file__).resolve().parents[1]
+
+
+def _family(rule_id: str) -> str:
+    for prefix, family in _FAMILIES:
+        if rule_id.startswith(prefix):
+            return family
+    return "shallow"
 
 
 def _as_json(findings: list[Finding]) -> str:
@@ -51,8 +70,11 @@ def _as_sarif(findings: list[Finding]) -> str:
             "id": rule.rule_id,
             "name": rule.name,
             "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+            "properties": {"family": _family(rule.rule_id)},
         }
-        for rule in (*RULES, *DEEP_RULES)
+        for rule in (*RULES, *DEEP_RULES, *RACE_RULES)
     ]
     results = [
         {
@@ -89,6 +111,45 @@ def _as_sarif(findings: list[Finding]) -> str:
     return json.dumps(doc, indent=2)
 
 
+def _unused_pragmas(targets: list[Path]) -> list[str]:
+    """Pragma lines whose ``allow[...]`` suppresses no raw finding.
+
+    Runs all three rule layers with suppression off, then reports every
+    pragma line where none of the allowed rule ids (nor ``*`` matching
+    anything) actually fires.
+    """
+    raw = lint_paths(targets, apply_pragmas=False)
+    raw += deep_lint_paths(targets, apply_pragmas=False)
+    raw += race_lint_paths(targets, apply_pragmas=False)
+    fired: dict[tuple[str, int], set[str]] = {}
+    for finding in raw:
+        fired.setdefault((finding.path, finding.line), set()).add(finding.rule)
+
+    stale: list[str] = []
+    seen: set[Path] = set()
+    for entry in targets:
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            if "tests" in file.parts or file.suffix != ".py" or file in seen:
+                continue
+            seen.add(file)
+            source = file.read_text(encoding="utf-8")
+            for lineno, allowed in iter_pragmas(source):
+                rules_here = fired.get((str(file), lineno), set())
+                if "*" in allowed:
+                    if rules_here:
+                        continue
+                    stale.append(f"{file}:{lineno}: stale pragma allow[*]: no rule fires here")
+                    continue
+                unused = sorted(r for r in allowed if r not in rules_here)
+                if unused:
+                    stale.append(
+                        f"{file}:{lineno}: stale pragma allow[{', '.join(unused)}]: "
+                        "the rule no longer fires on this line"
+                    )
+    return stale
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check",
@@ -107,7 +168,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--deep",
         action="store_true",
-        help="also run the RL1xx CFG/dataflow/call-graph rules",
+        help="also run the RL1xx CFG/dataflow/call-graph rules and the "
+        "RL2xx concurrency-safety rules",
+    )
+    parser.add_argument(
+        "--unused-pragmas",
+        action="store_true",
+        help="report allow[...] pragmas that no longer suppress any finding "
+        "(exit 1 when stale pragmas exist)",
     )
     parser.add_argument(
         "--format",
@@ -125,7 +193,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in (*RULES, *DEEP_RULES):
+        for rule in (*RULES, *DEEP_RULES, *RACE_RULES):
             print(f"{rule.rule_id}  {rule.name:<28} {rule.summary}")
         return 0
 
@@ -136,10 +204,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: no such path: {target}", file=sys.stderr)
         return 2
 
+    if args.unused_pragmas:
+        stale = _unused_pragmas(targets)
+        for line in stale:
+            print(line)
+        if stale:
+            print(f"\n{len(stale)} stale pragma(s)", file=sys.stderr)
+        return 1 if stale else 0
+
     started = time.monotonic()
     findings = lint_paths(targets)
     if args.deep:
-        findings = findings + deep_lint_paths(targets)
+        findings = findings + deep_lint_paths(targets) + race_lint_paths(targets)
     elapsed = time.monotonic() - started
 
     if args.format == "json":

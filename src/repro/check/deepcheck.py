@@ -60,7 +60,7 @@ from repro.check.reprolint import (
     _MAINTENANCE_OWNERS,
     Finding,
     Rule,
-    allowed_rules,
+    filter_findings,
     module_rel_path,
 )
 
@@ -742,12 +742,16 @@ def _rule_hot_alloc(
 
 
 def deep_lint_sources(
-    files: dict[str, tuple[str, str]], rules: Optional[Iterable[str]] = None
+    files: dict[str, tuple[str, str]],
+    rules: Optional[Iterable[str]] = None,
+    *,
+    apply_pragmas: bool = True,
 ) -> list[Finding]:
     """Run the deep rules over ``rel -> (display path, source)``.
 
     ``rules`` restricts the run to a subset of RL1xx ids (used by the
-    fixture tests to prove each rule pulls its weight).
+    fixture tests to prove each rule pulls its weight);
+    ``apply_pragmas=False`` keeps suppressed findings (stale-pragma audit).
     """
     active = frozenset(rules) if rules is not None else frozenset(r.rule_id for r in DEEP_RULES)
     modules = _parse_modules(files)
@@ -769,23 +773,21 @@ def deep_lint_sources(
                 if "RL103" in active:
                     _rule_paired_mutation(module, func, sink)
 
+    raw = sorted(sink.raw, key=lambda f: (f.path, f.line, f.col, f.rule))
+    if not apply_pragmas:
+        return raw
     # Pragma suppression, shared grammar with the shallow rules.
     lines_by_path: dict[str, list[str]] = {
         m.path: m.source.splitlines() for m in modules
     }
-    findings: list[Finding] = []
-    for finding in sorted(sink.raw, key=lambda f: (f.path, f.line, f.col, f.rule)):
-        lines = lines_by_path.get(finding.path, [])
-        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
-        allowed = allowed_rules(text)
-        if allowed is not None and (finding.rule in allowed or "*" in allowed):
-            continue
-        findings.append(finding)
-    return findings
+    return filter_findings(raw, lines_by_path)
 
 
 def deep_lint_paths(
-    paths: Sequence[str | Path], rules: Optional[Iterable[str]] = None
+    paths: Sequence[str | Path],
+    rules: Optional[Iterable[str]] = None,
+    *,
+    apply_pragmas: bool = True,
 ) -> list[Finding]:
     """Run the deep rules over files/directories (tests excluded)."""
     files: dict[str, tuple[str, str]] = {}
@@ -798,4 +800,4 @@ def deep_lint_paths(
             if "tests" in file.parts or file.suffix != ".py":
                 continue
             files[module_rel_path(file)] = (str(file), file.read_text(encoding="utf-8"))
-    return deep_lint_sources(files, rules)
+    return deep_lint_sources(files, rules, apply_pragmas=apply_pragmas)

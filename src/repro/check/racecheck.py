@@ -1,0 +1,188 @@
+"""Concurrency-safety rules for the shard dispatch contract (RL2xx).
+
+The rule *driver* for the escape/ownership analysis in
+:mod:`repro.check.escape`: it parses the analyzed tree, builds the
+contract registry and project call graph once, runs RL201–RL203 over
+every ``shard/`` module's dispatch sites, adds the syntactic RL204
+barrier-bypass scan, and reports through the same
+:class:`~repro.check.reprolint.Finding` / pragma machinery as the
+shallow and deep layers.
+
+=======  ==============================================================
+RL201    thread-escape: state reachable from a dispatched thunk that is
+         neither one shard's engine, immutable, ``@shared_readonly``,
+         nor fresh per-thunk data escapes to a worker thread.
+RL202    ownership-partition: two dispatched thunks may alias the same
+         mutable root (constant/loop-invariant shard index, whole shard
+         container captured).
+RL203    shared-read-immutability: a ``@shared_readonly`` object is
+         written on some path reachable from a dispatched thunk.
+RL204    barrier-bypass: executor primitives (``_executor``, ``submit``,
+         ``as_completed``, ``ThreadPoolExecutor``) used outside
+         ``ShardWorkerPool`` — results or accounting could be observed
+         before the scatter barrier.
+=======  ==============================================================
+
+Every static rule has a runtime oracle: the
+:class:`~repro.check.sanitizer.OwnershipSanitizer` claims a shard id per
+thunk and every engine substrate mutation checks the claim, so code the
+static pass cannot see (opaque thunk factories, data-dependent shard
+choices) still fails loudly in debug mode.  See DESIGN.md §10.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.check.callgraph import build_callgraph
+from repro.check.deepcheck import _Module, _parse_modules, _Sink
+from repro.check.escape import analyze_module, build_registry
+from repro.check.reprolint import (
+    Finding,
+    Rule,
+    filter_findings,
+    module_rel_path,
+)
+
+__all__ = ["RACE_RULES", "race_lint_sources", "race_lint_paths"]
+
+RACE_RULES: tuple[Rule, ...] = (
+    Rule(
+        "RL201",
+        "thread-escape",
+        "state escaping into a dispatched thunk must be one shard's engine, "
+        "immutable, shared-readonly, or fresh",
+    ),
+    Rule(
+        "RL202",
+        "ownership-partition",
+        "no two dispatched thunks may alias the same mutable root (distinct "
+        "shard per thunk)",
+    ),
+    Rule(
+        "RL203",
+        "shared-read-immutability",
+        "@shared_readonly objects must not be written on any path reachable "
+        "from a dispatched thunk",
+    ),
+    Rule(
+        "RL204",
+        "barrier-bypass",
+        "no executor primitives outside ShardWorkerPool; pool.run is the only "
+        "fork/join seam",
+    ),
+)
+
+#: modules the contract binds; the pool implements the barrier itself.
+_SCOPE_PREFIX = "shard/"
+_BARRIER_OWNER = "shard/pool.py"
+
+#: executor primitives whose appearance outside the pool bypasses the
+#: scatter barrier (fork without the blessed join).
+_EXECUTOR_ATTRS = frozenset({"_executor"})
+_EXECUTOR_CALLS = frozenset({"submit", "map_async", "apply_async"})
+_EXECUTOR_NAMES = frozenset({"as_completed", "ThreadPoolExecutor", "ProcessPoolExecutor", "wait"})
+
+
+def _in_scope(rel: str) -> bool:
+    return rel.startswith(_SCOPE_PREFIX) and rel != _BARRIER_OWNER
+
+
+def _rule_barrier_bypass(module: _Module, sink: _Sink) -> None:
+    flagged_lines: set[int] = set()
+
+    def add(node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if line in flagged_lines:
+            return  # one finding per line: chained primitives are one bypass
+        flagged_lines.add(line)
+        sink.add(module.path, node, "RL204", message)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name: Optional[str] = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _EXECUTOR_CALLS:
+                add(
+                    node,
+                    f"scatter barrier bypassed: {name}() dispatches work "
+                    "outside the ShardWorkerPool.run seam, so results and "
+                    "accounting can be read before every thunk finished",
+                )
+                continue
+            if name in _EXECUTOR_NAMES:
+                add(
+                    node,
+                    f"scatter barrier bypassed: {name}() forks or joins "
+                    "threads outside ShardWorkerPool; pool.run is the only "
+                    "fork/join seam (and the only happens-before edge)",
+                )
+                continue
+        if isinstance(node, ast.Attribute) and node.attr in _EXECUTOR_ATTRS:
+            add(
+                node,
+                "scatter barrier bypassed: direct executor access outside "
+                "ShardWorkerPool; dispatch through pool.run so the barrier "
+                "orders thunk effects before foreground reads",
+            )
+
+
+def race_lint_sources(
+    files: dict[str, tuple[str, str]],
+    rules: Optional[Iterable[str]] = None,
+    *,
+    apply_pragmas: bool = True,
+) -> list[Finding]:
+    """Run the race rules over ``rel -> (display path, source)``.
+
+    ``rules`` restricts the run to a subset of RL2xx ids;
+    ``apply_pragmas=False`` keeps suppressed findings (stale-pragma audit).
+    """
+    active = (
+        frozenset(rules) if rules is not None else frozenset(r.rule_id for r in RACE_RULES)
+    )
+    modules = _parse_modules(files)
+    sink = _Sink()
+    scoped = [m for m in modules if _in_scope(m.rel)]
+    if scoped:
+        trees = {m.rel: m.tree for m in modules}
+        display = {m.rel: m.path for m in modules}
+        graph = build_callgraph(trees)
+        registry = build_registry(trees, graph)
+        for module in scoped:
+            if "RL204" in active:
+                _rule_barrier_bypass(module, sink)
+            if active & {"RL201", "RL202", "RL203"}:
+                for raw in analyze_module(module.rel, module.tree, registry, graph, active):
+                    sink.add(
+                        display.get(raw.rel, raw.rel), raw.node, raw.rule, raw.message
+                    )
+    raw_findings = sorted(sink.raw, key=lambda f: (f.path, f.line, f.col, f.rule))
+    if not apply_pragmas:
+        return raw_findings
+    lines_by_path = {m.path: m.source.splitlines() for m in modules}
+    return filter_findings(raw_findings, lines_by_path)
+
+
+def race_lint_paths(
+    paths: Sequence[str | Path],
+    rules: Optional[Iterable[str]] = None,
+    *,
+    apply_pragmas: bool = True,
+) -> list[Finding]:
+    """Run the race rules over files/directories (tests excluded)."""
+    files: dict[str, tuple[str, str]] = {}
+    for entry in paths:
+        path = Path(entry)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in candidates:
+            if "tests" in file.parts or file.suffix != ".py":
+                continue
+            files[module_rel_path(file)] = (str(file), file.read_text(encoding="utf-8"))
+    return race_lint_sources(files, rules, apply_pragmas=apply_pragmas)

@@ -73,6 +73,8 @@ __all__ = [
     "Rule",
     "RULES",
     "allowed_rules",
+    "filter_findings",
+    "iter_pragmas",
     "lint_source",
     "lint_paths",
     "module_rel_path",
@@ -591,8 +593,58 @@ def allowed_rules(line: str) -> frozenset[str] | None:
     return frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
 
 
-def lint_source(source: str, path: str | Path) -> list[Finding]:
-    """Lint one module's source text; returns findings sorted by location."""
+def iter_pragmas(source: str) -> list[tuple[int, frozenset[str]]]:
+    """Every ``allow[...]`` pragma in ``source`` as ``(lineno, rule ids)``.
+
+    The stale-pragma audit (``--unused-pragmas``) compares these against
+    the raw findings each line would produce without suppression.  Only
+    genuine ``#`` comments count — the tokenizer distinguishes a real
+    pragma from a docstring that merely *mentions* the pragma grammar.
+    """
+    import io
+    import tokenize
+
+    out: list[tuple[int, frozenset[str]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, SyntaxError):
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        allowed = allowed_rules(token.string)
+        if allowed is not None:
+            out.append((token.start[0], allowed))
+    return out
+
+
+def filter_findings(
+    findings: Iterable[Finding], lines_by_path: dict[str, list[str]]
+) -> list[Finding]:
+    """Drop findings suppressed by a same-line ``allow[...]`` pragma.
+
+    One filter serves all three rule layers (shallow RL0xx, deep RL1xx,
+    race RL2xx) so the pragma grammar cannot drift between them.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path, [])
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        allowed = allowed_rules(text)
+        if allowed is not None and (finding.rule in allowed or "*" in allowed):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str, path: str | Path, *, apply_pragmas: bool = True
+) -> list[Finding]:
+    """Lint one module's source text; returns findings sorted by location.
+
+    ``apply_pragmas=False`` returns the raw findings including suppressed
+    ones — the substrate of the stale-pragma audit.
+    """
     rel = module_rel_path(path)
     try:
         tree = ast.parse(source, filename=str(path))
@@ -602,15 +654,13 @@ def lint_source(source: str, path: str | Path) -> list[Finding]:
         ]
     visitor = _Visitor(rel)
     visitor.visit(tree)
-    lines = source.splitlines()
-    findings: list[Finding] = []
-    for line, col, rule, message in sorted(visitor.findings):
-        text = lines[line - 1] if 0 < line <= len(lines) else ""
-        allowed = allowed_rules(text)
-        if allowed is not None and (rule in allowed or "*" in allowed):
-            continue
-        findings.append(Finding(str(path), line, col, rule, message))
-    return findings
+    raw = [
+        Finding(str(path), line, col, rule, message)
+        for line, col, rule, message in sorted(visitor.findings)
+    ]
+    if not apply_pragmas:
+        return raw
+    return filter_findings(raw, {str(path): source.splitlines()})
 
 
 def _iter_py_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -625,9 +675,15 @@ def _iter_py_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield path
 
 
-def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+def lint_paths(
+    paths: Iterable[str | Path], *, apply_pragmas: bool = True
+) -> list[Finding]:
     """Lint every ``*.py`` file under ``paths`` (test directories excluded)."""
     findings: list[Finding] = []
     for path in _iter_py_files(paths):
-        findings.extend(lint_source(path.read_text(encoding="utf-8"), path))
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"), path, apply_pragmas=apply_pragmas
+            )
+        )
     return findings

@@ -46,7 +46,12 @@ time; see EXPERIMENTS.md for the measured overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
+
+# Thread *identity* only (no locks, no thread creation): the ownership
+# oracle below must know which pool worker touched a shard substrate to
+# check its claim against the shard's owner token.
+from threading import get_ident  # reprolint: allow[RL003]
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 from repro.art.nodes import InnerNode as ARTInnerNode
 from repro.art.nodes import Leaf as ARTLeaf
@@ -60,9 +65,11 @@ from repro.diskbtree.page import InnerPage, LeafPage
 from repro.cache.bytecache import PolicyCache
 from repro.diskbtree.tree import DiskBPlusTree
 from repro.lsm.store import TOMBSTONE, LSMStore
+from repro.shard.ownership import arm_dispatch, disarm_dispatch
 
 if TYPE_CHECKING:
     from repro.core.indexy import IndeXY
+    from repro.shard.pool import ShardWorkerPool
     from repro.shard.router import ShardRouter
     from repro.sim.runtime import EngineRuntime
 
@@ -73,6 +80,7 @@ __all__ = [
     "CheckBackAuditor",
     "ClockMonotonicityGuard",
     "IndexSanitizer",
+    "OwnershipSanitizer",
     "ShardSanitizer",
     "StoreSanitizer",
     "check_art",
@@ -1073,3 +1081,152 @@ class ShardSanitizer:
         violations = check_shard_router(self.router)
         if violations:
             raise CheckError(violations)
+
+
+# ----------------------------------------------------------------------
+# dynamic ownership oracle for the shard dispatch contract (RL201-RL204)
+# ----------------------------------------------------------------------
+
+_T = TypeVar("_T")
+
+#: owner token of the router's own (dormant) substrate: only the
+#: foreground thread, outside an armed dispatch, may touch it.
+_FOREGROUND = object()
+
+
+class OwnershipSanitizer:
+    """Runtime oracle for the static RL2xx concurrency rules.
+
+    Debug-mode owner tokens stamped on engine state, checked on every
+    mutate: each shard's :class:`~repro.sim.runtime.EngineRuntime`
+    (clock + stats bus) receives a guard bound to that shard's id, and
+    the router's own dormant runtime receives a foreground token.  During
+    a dispatch the router routes its thunks through :meth:`dispatch`,
+    which wraps each thunk to claim its shard id for the executing
+    thread; every subsequent ``charge_cpu``/``bump`` then verifies the
+    claim.  The failure modes map one-to-one onto the static rules:
+
+    * a thunk touching another shard's substrate (RL202 aliasing, or a
+      cross-shard escape per RL201) → claim/token mismatch;
+    * a thunk touching the router's substrate (RL201 escape of shared
+      mutable state) → claimed worker vs. foreground token;
+    * work submitted around :meth:`ShardWorkerPool.run` (RL204 barrier
+      bypass) → a pool thread mutating engine state with no claim at all;
+    * mutation of a ``@shared_readonly`` object mid-dispatch (RL203) →
+      the armed-dispatch ``__setattr__`` guard raises on its own.
+
+    Serial dispatch is checked identically (the foreground thread claims
+    each shard while running its thunk), so the oracle needs no real
+    threads to catch ownership bugs deterministically.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self.router = router
+        #: thread ident -> owner token claimed by the thunk it is running.
+        self._claims: dict[int, object] = {}
+        self._home = get_ident()
+        self.dispatches = 0
+        router.runtime.install_owner_guard(self._guard_for(_FOREGROUND))
+        for sid, shard in enumerate(router.shards):
+            shard.runtime.install_owner_guard(self._guard_for(sid))
+
+    def uninstall(self) -> None:
+        """Remove every guard (back to unchecked mutation)."""
+        self.router.runtime.clear_owner_guard()
+        for shard in self.router.shards:
+            shard.runtime.clear_owner_guard()
+
+    # -- guard construction ---------------------------------------------
+    def _guard_for(self, token: object) -> Callable[[], None]:
+        def guard() -> None:
+            claimed = self._claims.get(get_ident(), _NO_CLAIM)
+            if claimed is token:
+                return
+            if claimed is _NO_CLAIM:
+                if get_ident() == self._home:
+                    # The foreground thread outside any claim: legal for
+                    # single-op routing (pool.run blocks, so this cannot
+                    # overlap an armed threaded dispatch).
+                    return
+                raise CheckError(
+                    [
+                        Violation(
+                            "shard-ownership",
+                            "a pool thread mutated engine state without an "
+                            "ownership claim; work reached the executor "
+                            "around ShardWorkerPool.run (barrier bypass)",
+                        )
+                    ]
+                )
+            owner = "the router's foreground substrate" if token is _FOREGROUND else f"shard {token}"
+            raise CheckError(
+                [
+                    Violation(
+                        "shard-ownership",
+                        f"thunk claiming shard {claimed} mutated {owner}; "
+                        "each dispatched thunk owns exactly one shard's "
+                        "engine substrate",
+                    )
+                ]
+            )
+
+        return guard
+
+    # -- the dispatch seam ----------------------------------------------
+    def dispatch(
+        self,
+        pool: "ShardWorkerPool",
+        sids: Sequence[int],
+        thunks: Sequence[Callable[[], _T]],
+    ) -> list[_T]:
+        """Run ``thunks`` through ``pool`` with ownership claims armed.
+
+        ``sids[i]`` is the shard ``thunks[i]`` is entitled to; duplicate
+        ids in one dispatch are an aliasing bug (two thunks would own one
+        mutable root — RL202's runtime face) and fail before any thunk
+        runs.
+        """
+        if len(sids) != len(thunks):
+            raise CheckError(
+                [
+                    Violation(
+                        "shard-ownership",
+                        f"dispatch of {len(thunks)} thunks declared "
+                        f"{len(sids)} shard ids; every thunk needs exactly "
+                        "one owned shard",
+                    )
+                ]
+            )
+        if len(set(sids)) != len(sids):
+            raise CheckError(
+                [
+                    Violation(
+                        "shard-ownership",
+                        f"duplicate shard ids in one dispatch ({list(sids)}); "
+                        "no two thunks may own the same shard between "
+                        "partition and scatter",
+                    )
+                ]
+            )
+        self.dispatches += 1
+        work = [self._claimed(sid, thunk) for sid, thunk in zip(sids, thunks, strict=True)]
+        arm_dispatch()
+        try:
+            return pool.run(work)
+        finally:
+            disarm_dispatch()
+
+    def _claimed(self, sid: int, thunk: Callable[[], _T]) -> Callable[[], _T]:
+        def run() -> _T:
+            ident = get_ident()
+            self._claims[ident] = sid
+            try:
+                return thunk()
+            finally:
+                del self._claims[ident]
+
+        return run
+
+
+#: sentinel distinguishing "no claim" from any real token.
+_NO_CLAIM = object()

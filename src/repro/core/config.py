@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -34,23 +35,41 @@ class CachePolicyConfig:
                 )
 
     @classmethod
-    def from_spec(cls, spec: str) -> "CachePolicyConfig":
+    def from_spec(
+        cls,
+        spec: str,
+        *,
+        layers: Optional[Sequence[str]] = None,
+        system: Optional[str] = None,
+    ) -> "CachePolicyConfig":
         """Parse a ``layer=policy`` list, e.g. ``block=s3fifo,row=lfu``.
 
         Unnamed layers keep their defaults; this is the grammar behind
-        system specs like ``ART-LSM@block=s3fifo,row=lfu``.
+        system specs like ``ART-LSM@block=s3fifo,row=lfu``.  ``layers``
+        restricts the accepted layer names to the ones a particular
+        system actually caches on, and ``system`` names that system in
+        the error, so ``ART-LSM@pool=lru`` says "ART-LSM has no pool
+        layer; its layers are block, row" instead of silently accepting
+        a knob the build ignores.
         """
-        layers = {field.name for field in fields(cls)}
+        all_layers = {field.name for field in fields(cls)}
+        valid = tuple(layers) if layers is not None else tuple(sorted(all_layers))
         chosen: dict[str, str] = {}
         for part in spec.split(","):
             part = part.strip()
             if not part:
                 continue
             layer, sep, policy = part.partition("=")
-            if not sep or not policy or layer not in layers:
+            if not sep or not policy or layer not in all_layers:
                 raise ValueError(
                     f"bad cache-policy spec {part!r}; expected layer=policy with "
-                    f"layer one of {', '.join(sorted(layers))}"
+                    f"layer one of {', '.join(valid)}"
+                )
+            if layer not in valid:
+                owner = f"system {system!r}" if system else "this system"
+                raise ValueError(
+                    f"cache layer {layer!r} does not exist on {owner}; "
+                    f"valid layers: {', '.join(valid)}"
                 )
             if layer in chosen:
                 raise ValueError(f"layer {layer!r} named twice in spec {spec!r}")

@@ -7,6 +7,12 @@ the architecture and EXPERIMENTS.md for the concurrent-serving
 methodology.
 """
 
+from repro.shard.ownership import (
+    OwnershipViolation,
+    dispatch_armed,
+    distinct_ids,
+    shared_readonly,
+)
 from repro.shard.partition import (
     HashPartitioner,
     Partitioner,
@@ -18,9 +24,13 @@ from repro.shard.router import ShardRouter
 
 __all__ = [
     "HashPartitioner",
+    "OwnershipViolation",
     "Partitioner",
     "RangePartitioner",
     "ShardRouter",
     "ShardWorkerPool",
+    "dispatch_armed",
+    "distinct_ids",
     "make_partitioner",
+    "shared_readonly",
 ]

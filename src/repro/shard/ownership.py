@@ -1,0 +1,102 @@
+"""Ownership annotations for the shard dispatch contract.
+
+The sharded serving layer is race-free by *partition*: every thunk the
+router hands to :class:`~repro.shard.pool.ShardWorkerPool` owns exactly
+one shard's engine substrate for the duration of the dispatch, and the
+only objects legally visible to more than one thunk are immutable values
+and explicitly read-only shared state.  The static RL2xx rules
+(:mod:`repro.check.racecheck`) prove that contract over the call graph;
+this module holds the two annotations those rules key on, plus the
+debug-mode armed-dispatch flag their runtime oracle
+(:class:`~repro.check.sanitizer.OwnershipSanitizer`) uses:
+
+* :func:`shared_readonly` marks a class whose instances may be read from
+  any dispatched thunk but mutated by none (partition maps, configs,
+  codecs).  RL203 statically proves no method mutates ``self`` after
+  construction; at runtime, any attribute write while a dispatch is
+  armed raises :class:`OwnershipViolation`.
+* :func:`distinct_ids` marks a function whose returned ids are pairwise
+  distinct, so iterating its result yields a different shard per thunk.
+  RL202 accepts its callers' loop variables as distinct shard indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "OwnershipViolation",
+    "arm_dispatch",
+    "disarm_dispatch",
+    "dispatch_armed",
+    "distinct_ids",
+    "shared_readonly",
+]
+
+_T = TypeVar("_T")
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: nesting depth of currently armed dispatches (debug mode only); module
+#: state rather than per-router so shared-readonly objects need no back
+#: pointer to the router that shares them.
+_armed_dispatches = 0
+
+
+class OwnershipViolation(AssertionError):
+    """A thread touched state it does not own during a shard dispatch."""
+
+
+def arm_dispatch() -> None:
+    """Enter a dispatch window: shared-readonly objects become frozen."""
+    global _armed_dispatches
+    _armed_dispatches += 1
+
+
+def disarm_dispatch() -> None:
+    """Leave a dispatch window (the scatter barrier has been crossed)."""
+    global _armed_dispatches
+    if _armed_dispatches > 0:
+        _armed_dispatches -= 1
+
+
+def dispatch_armed() -> bool:
+    """True while any shard dispatch is between partition and scatter."""
+    return _armed_dispatches > 0
+
+
+def shared_readonly(cls: type[_T]) -> type[_T]:
+    """Class decorator: instances are shared across thunks, never mutated.
+
+    Static side: RL203 verifies no method of the class (or a project
+    subclass) writes ``self`` outside ``__init__``, and RL201 classifies
+    captures of annotated attributes as legal shared reads.  Runtime
+    side: attribute writes raise :class:`OwnershipViolation` while a
+    debug-mode dispatch is armed (construction happens before any
+    dispatch, so ``__init__`` is unaffected).
+    """
+    original_setattr = cls.__setattr__
+
+    def _checked_setattr(self: _T, name: str, value: object) -> None:
+        if _armed_dispatches:
+            raise OwnershipViolation(
+                f"{type(self).__name__}.{name} written during an armed shard "
+                "dispatch; @shared_readonly objects are frozen between "
+                "partition and scatter"
+            )
+        original_setattr(self, name, value)
+
+    setattr(cls, "__setattr__", _checked_setattr)
+    setattr(cls, "__shared_readonly__", True)
+    return cls
+
+
+def distinct_ids(func: _F) -> _F:
+    """Function decorator: the returned ids are pairwise distinct.
+
+    Pure metadata (no wrapper, no runtime cost): RL202 treats loop
+    variables iterating this function's result as distinct shard
+    indexes, which is what makes one-thunk-per-consulted-shard scans
+    provably alias-free.
+    """
+    setattr(func, "__distinct_ids__", True)
+    return func

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.shard.ownership import distinct_ids, shared_readonly
+
 __all__ = ["Partitioner", "HashPartitioner", "RangePartitioner", "make_partitioner"]
 
 _MASK64 = (1 << 64) - 1
@@ -38,8 +40,15 @@ def _mix64(x: int) -> int:
     return x
 
 
+@shared_readonly
 class Partitioner:
-    """Maps integer keys onto ``shards`` shard ids."""
+    """Maps integer keys onto ``shards`` shard ids.
+
+    ``@shared_readonly`` declares the concurrency contract: a partitioner
+    is read by every dispatch thunk, so it must never be written between
+    partition and scatter.  The decorator enforces this at runtime in
+    debug mode; racecheck rule RL203 proves it statically.
+    """
 
     #: True when shard-id order equals key order (range placement):
     #: scans may then walk shards in id order and stop early.
@@ -79,6 +88,7 @@ class Partitioner:
             positions[sid].append(pos)
         return batches, positions
 
+    @distinct_ids
     def scan_shard_ids(self, start_key: int) -> list[int]:
         """Shards a scan from ``start_key`` must consult, in visit order."""
         if not self.ordered:

@@ -34,7 +34,7 @@ from __future__ import annotations
 from functools import partial
 from heapq import merge as heapq_merge
 from operator import itemgetter
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.shard.partition import Partitioner, make_partitioner
 from repro.shard.pool import ShardWorkerPool
@@ -43,6 +43,8 @@ from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem, Snapshot
 
 __all__ = ["ShardRouter"]
+
+_T = TypeVar("_T")
 
 
 class ShardRouter(KVSystem):
@@ -111,10 +113,12 @@ class ShardRouter(KVSystem):
         ]
         self.name = f"Sharded-{base_system}x{shards}"
         self.sanitizer: Optional[Any] = None
+        self.ownership: Optional[Any] = None
         if debug_checks:
-            from repro.check.sanitizer import ShardSanitizer
+            from repro.check.sanitizer import OwnershipSanitizer, ShardSanitizer
 
             self.sanitizer = ShardSanitizer(self)
+            self.ownership = OwnershipSanitizer(self)
 
     @property
     def num_shards(self) -> int:
@@ -143,15 +147,26 @@ class ShardRouter(KVSystem):
     # ------------------------------------------------------------------
     # batched operations: partition once, dispatch once
     # ------------------------------------------------------------------
+    def _dispatch(
+        self, sids: Sequence[int], work: Sequence[Callable[[], _T]]
+    ) -> list[_T]:
+        """The one dispatch seam: ``work[i]`` owns shard ``sids[i]``.
+
+        ``pool.run`` is the scatter barrier — it returns only after every
+        thunk finished, so the caller may merge results on its own thread
+        immediately after.  In debug mode the :class:`OwnershipSanitizer`
+        wraps each thunk with its shard's ownership claim first.
+        """
+        if self.ownership is not None:
+            return self.ownership.dispatch(self.pool, sids, work)
+        return self.pool.run(work)
+
     def put_many(self, keys: Iterable[int], value: bytes) -> None:
         batches = self.partitioner.split(keys)
         shards = self.shards
-        work = [
-            partial(shards[sid].put_many, batch, value)
-            for sid, batch in enumerate(batches)
-            if batch
-        ]
-        self.pool.run(work)
+        dispatched = [sid for sid, batch in enumerate(batches) if batch]
+        work = [partial(shards[sid].put_many, batches[sid], value) for sid in dispatched]
+        self._dispatch(dispatched, work)
         if self.sanitizer is not None:
             self.sanitizer.after_batch(sum(len(b) for b in batches))
 
@@ -161,7 +176,7 @@ class ShardRouter(KVSystem):
         shards = self.shards
         dispatched = [sid for sid, batch in enumerate(batches) if batch]
         work = [partial(shards[sid].get_many, batches[sid]) for sid in dispatched]
-        per_shard_values = self.pool.run(work)
+        per_shard_values = self._dispatch(dispatched, work)
         # Scatter per-shard results back to batch positions.  The merge
         # runs on the calling thread after the barrier; workers only
         # return values, they never write shared state.
@@ -180,7 +195,7 @@ class ShardRouter(KVSystem):
         shards = self.shards
         dispatched = [sid for sid, batch in enumerate(batches) if batch]
         work = [partial(shards[sid].delete_many, batches[sid]) for sid in dispatched]
-        per_shard_flags = self.pool.run(work)
+        per_shard_flags = self._dispatch(dispatched, work)
         out: list[bool] = [False] * len(key_list)
         for sid, flags in zip(dispatched, per_shard_flags, strict=True):
             pos = positions[sid]
@@ -207,7 +222,7 @@ class ShardRouter(KVSystem):
             result = out[:count]
         else:
             work = [partial(shards[sid].scan, key, count) for sid in consult]
-            per_shard = self.pool.run(work)
+            per_shard = self._dispatch(consult, work)
             merged = heapq_merge(*per_shard, key=itemgetter(0))
             result = [pair for pair, __ in zip(merged, range(count))]
         if self.sanitizer is not None:

@@ -302,6 +302,23 @@ class EngineRuntime:
         self.stats = stats if stats is not None else StatCounters()
         self.scheduler = BackgroundScheduler(self)
 
+    def install_owner_guard(self, guard: Callable[[], None]) -> None:
+        """Debug seam: run ``guard`` before every clock/stats mutation.
+
+        The :class:`~repro.check.sanitizer.OwnershipSanitizer` stamps each
+        shard's runtime with a guard that checks the mutating thread holds
+        that shard's ownership claim, turning cross-shard (or
+        foreground-state) touches during a threaded dispatch into
+        immediate failures instead of silent nondeterminism.
+        """
+        self.clock._owner_guard = guard
+        self.stats._owner_guard = guard
+
+    def clear_owner_guard(self) -> None:
+        """Remove an installed owner guard (back to zero-cost mutation)."""
+        self.clock._owner_guard = None
+        self.stats._owner_guard = None
+
     @contextmanager
     def observation(self) -> Iterator[None]:
         """Walk cost-charged paths without perturbing simulated results.

@@ -126,6 +126,19 @@ _REGISTRY: dict[str, _Builder] = {
     "Sharded": _build_sharded,
 }
 
+#: the cache layers each system actually builds: a spec naming any other
+#: layer is a no-op knob, so :func:`parse_system_spec` rejects it with
+#: this list instead of silently ignoring it.  ``Sharded`` forwards its
+#: policies to whatever base system the shards run, so it accepts all.
+_SYSTEM_LAYERS: dict[str, tuple[str, ...]] = {
+    "ART-LSM": ("block", "row"),
+    "ART-B+": ("pool",),
+    "B+-B+": ("pool",),
+    "RocksDB": ("block", "row"),
+    "ART-Multi": ("pool", "block", "row"),
+    "Sharded": ("pool", "block", "row"),
+}
+
 
 def registered_systems() -> tuple[str, ...]:
     """Every name :func:`build_system` accepts, in registration order."""
@@ -135,14 +148,22 @@ def registered_systems() -> tuple[str, ...]:
 def parse_system_spec(spec: str) -> tuple[str, CachePolicyConfig | None]:
     """Split ``name@layer=policy,...`` into (name, cache policies).
 
-    A bare name returns ``(name, None)``; the policy part, when present,
-    is parsed by :meth:`CachePolicyConfig.from_spec` (unknown layers and
-    policies fail with the registered lists).
+    A bare name returns ``(name, None)`` unchecked (callers that build
+    report unknown systems themselves).  When a policy part is present
+    the system name is validated first — the layer grammar is
+    per-system — and then parsed by :meth:`CachePolicyConfig.from_spec`
+    restricted to the layers that system caches on, so an unknown layer
+    lists the valid layers *for that system*.
     """
     name, sep, params = spec.partition("@")
     if not sep:
         return name, None
-    return name, CachePolicyConfig.from_spec(params)
+    if name not in _REGISTRY:
+        known = ", ".join(registered_systems())
+        raise ValueError(f"unknown system {name!r}; registered systems: {known}")
+    return name, CachePolicyConfig.from_spec(
+        params, layers=_SYSTEM_LAYERS[name], system=name
+    )
 
 
 def build_system(

@@ -239,6 +239,35 @@ def test_cache_policy_config_rejects_bad_specs():
         CachePolicyConfig.from_spec("block=lru,block=lfu")
 
 
+def test_spec_rejects_layer_absent_from_the_system():
+    # A pool knob on ART-LSM would be silently ignored at build time;
+    # the grammar rejects it and names the layers ART-LSM caches on.
+    with pytest.raises(ValueError, match=r"'pool' does not exist on system 'ART-LSM'"):
+        parse_system_spec("ART-LSM@pool=mglru")
+    with pytest.raises(ValueError, match=r"valid layers: block, row"):
+        parse_system_spec("RocksDB@pool=clock")
+    with pytest.raises(ValueError, match=r"valid layers: pool"):
+        parse_system_spec("B+-B+@block=s3fifo")
+    # ART-Multi runs page pools *and* an LSM, so every layer is live.
+    name, policies = parse_system_spec("ART-Multi@pool=mglru,block=s3fifo,row=lfu")
+    assert name == "ART-Multi"
+    assert policies == CachePolicyConfig(pool="mglru", block="s3fifo", row="lfu")
+
+
+def test_spec_validates_system_name_before_layers():
+    with pytest.raises(ValueError, match="registered systems"):
+        parse_system_spec("FancyDB@block=lru")
+    # A malformed layer list on an unknown system still reports the
+    # unknown system first: the layer grammar is per-system.
+    with pytest.raises(ValueError, match="unknown system 'FancyDB'"):
+        parse_system_spec("FancyDB@nonsense")
+
+
+def test_spec_unknown_layer_error_lists_system_layers():
+    with pytest.raises(ValueError, match=r"layer one of block, row"):
+        parse_system_spec("ART-LSM@disk=lru")
+
+
 def test_build_system_with_policy_spec():
     system = build_system("B+-B+@pool=mglru", memory_limit_bytes=64 * 1024)
     assert system.tree.pool.policy_name == "mglru"

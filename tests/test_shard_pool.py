@@ -1,0 +1,129 @@
+"""Failure-path tests for :class:`~repro.shard.pool.ShardWorkerPool`.
+
+The happy path (submission-order results, serial/threaded equivalence on
+clean thunks) is pinned in ``test_shard_router.py``; this file covers
+what happens when a thunk *raises*: the exception must propagate to the
+caller, the pool must stay usable afterwards (no poisoned executor), and
+the serial fallback must behave identically to the threaded path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.shard import ShardWorkerPool
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def thunk(value):
+    return lambda: value
+
+
+def raiser(message="boom"):
+    def run():
+        raise Boom(message)
+
+    return run
+
+
+@pytest.mark.parametrize("workers", [0, 1, 2, 4])
+def test_thunk_exception_propagates(workers):
+    with ShardWorkerPool(workers) as pool:
+        with pytest.raises(Boom, match="boom"):
+            pool.run([thunk(1), raiser(), thunk(3)])
+
+
+@pytest.mark.parametrize("workers", [0, 4])
+def test_pool_survives_a_raising_thunk(workers):
+    # A failed scatter must not poison the executor: the next dispatch
+    # on the same pool runs normally and keeps caller order.
+    with ShardWorkerPool(workers) as pool:
+        with pytest.raises(Boom):
+            pool.run([raiser(), thunk(2)])
+        assert pool.run([thunk(i) for i in range(8)]) == list(range(8))
+        with pytest.raises(Boom):
+            pool.run([thunk(0), raiser("again")])
+        assert pool.run([thunk("a"), thunk("b")]) == ["a", "b"]
+
+
+def test_exception_does_not_scramble_caller_order_scatter():
+    # Slow early thunks + a fast raiser: results iteration is still in
+    # submission order, so the error surfaces as thunk #2's slot and the
+    # caller never sees a partially reordered result list.
+    started: list[int] = []
+
+    def slow(i):
+        def run():
+            started.append(i)
+            time.sleep(0.01)
+            return i
+
+        return run
+
+    with ShardWorkerPool(4) as pool:
+        with pytest.raises(Boom):
+            pool.run([slow(0), slow(1), raiser(), slow(3)])
+        # The pool itself still scatters correctly after the failure.
+        assert pool.run([slow(i) for i in range(4)]) == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("workers", [0, 1])
+def test_serial_fallback_matches_single_worker(workers):
+    # workers<=1 never builds an executor; results and error behaviour
+    # are identical to the threaded path.
+    pool = ShardWorkerPool(workers)
+    assert not pool.threaded
+    assert pool.run([thunk(5), thunk(6)]) == [5, 6]
+    with pytest.raises(Boom):
+        pool.run([raiser()])
+    pool.close()
+
+
+def test_serial_and_threaded_agree_on_results_and_errors():
+    serial = ShardWorkerPool(0)
+    threaded = ShardWorkerPool(3)
+    try:
+        jobs = [thunk(i * i) for i in range(16)]
+        assert serial.run(jobs) == threaded.run(jobs)
+        for pool in (serial, threaded):
+            with pytest.raises(Boom, match="same"):
+                pool.run([thunk(1), raiser("same"), thunk(3)])
+    finally:
+        serial.close()
+        threaded.close()
+
+
+def test_threaded_run_uses_worker_threads():
+    main_ident = threading.get_ident()
+    with ShardWorkerPool(2) as pool:
+        idents = pool.run([lambda: threading.get_ident() for _ in range(4)])
+    assert all(ident != main_ident for ident in idents)
+
+
+def test_single_thunk_runs_inline_even_when_threaded():
+    # One thunk has nothing to overlap with; the pool skips the executor.
+    main_ident = threading.get_ident()
+    with ShardWorkerPool(4) as pool:
+        assert pool.run([lambda: threading.get_ident()]) == [main_ident]
+
+
+def test_close_is_idempotent_and_disables_threading():
+    pool = ShardWorkerPool(4)
+    assert pool.threaded
+    pool.close()
+    pool.close()
+    assert not pool.threaded
+    # A closed pool degrades to the serial path rather than erroring.
+    assert pool.run([thunk(1), thunk(2)]) == [1, 2]
+
+
+def test_negative_workers_clamps_to_serial():
+    pool = ShardWorkerPool(-3)
+    assert pool.workers == 0 and not pool.threaded
+    assert pool.run([thunk(9)]) == [9]
