@@ -58,11 +58,12 @@ _SCALES = {
     "page_codec": (2_000, 400),
     "fig3_random_e2e": (30_000, 6_000),
     "serve_sharded": (16_000, 3_000),
+    "serve_skew": (60_000, 12_000),
 }
 
 #: per-benchmark caps on the repeat count (1 for the expensive
 #: end-to-end runs); the reported wall time is the median over repeats.
-_REPEATS = {"fig3_random_e2e": 1, "serve_sharded": 1}
+_REPEATS = {"fig3_random_e2e": 1, "serve_sharded": 1, "serve_skew": 1}
 _DEFAULT_REPEATS = 3
 
 
@@ -222,6 +223,34 @@ def _bench_fig3_random_e2e(n: int) -> tuple[int, float]:
     return 4 * n, perf_counter() - t0
 
 
+def _bench_serve_skew(n: int) -> tuple[int, float, dict]:
+    """Open-loop skewed serving with elastic rebalancing off, then on.
+
+    The wall time covers both runs end to end; the ``serve_skew`` extra
+    records the *simulated* steady-state latency percentiles per side,
+    the migration counters, and the p99 improvement the elastic
+    resharding layer exists to deliver (see ``repro.bench.serve
+    --skew`` and DESIGN.md §11).
+    """
+    from repro.bench.serve import run_serve_skew
+
+    keys = max(2_000, n // 12)
+    per: dict[str, dict] = {}
+    t0 = perf_counter()
+    for label, spec in (("off", None), ("on", "threshold:2.2+cooldown:8")):
+        r = run_serve_skew(
+            system="ART-LSM", shards=4, ops=n, keys=keys, seed=7, rebalance=spec
+        )
+        per[label] = {
+            k: r[k]
+            for k in ("p50_us", "p95_us", "p99_us", "migrations", "keys_moved")
+        }
+    wall = perf_counter() - t0
+    ratio = per["off"]["p99_us"] / per["on"]["p99_us"] if per["on"]["p99_us"] else 0.0
+    extra = {"serve_skew": {**per, "p99_improvement": round(ratio, 2)}}
+    return 2 * n, wall, extra
+
+
 def _bench_serve_sharded(n: int) -> tuple[int, float, dict]:
     """Closed-loop concurrent serving at 1 and 4 shards (see repro.bench.serve).
 
@@ -257,6 +286,7 @@ _BENCHMARKS: dict[str, Callable[[int], tuple]] = {
     "page_codec": _bench_page_codec,
     "fig3_random_e2e": _bench_fig3_random_e2e,
     "serve_sharded": _bench_serve_sharded,
+    "serve_skew": _bench_serve_skew,
 }
 
 

@@ -25,11 +25,26 @@ table in EXPERIMENTS.md — and it is fully deterministic: the event
 loop pops (ready_time, client_id) pairs from a heap, so results are
 byte-stable across runs, worker counts, and platforms.
 
+``--skew`` switches to the hot-range scenario (DESIGN.md §11): plain
+(unscrambled) Zipf ranks map onto *sorted* key positions, so the popular
+keys cluster at the low end of the key space and a contiguous range
+partition pins one shard.  Unlike the default scenario this one is
+**open loop** — a seeded Poisson process offers ``--rate`` kops per
+simulated second whether or not the fleet keeps up, the fair way to
+compare tail latency across configurations with different capacity.
+The harness runs the scenario twice — elastic rebalancing off, then on —
+and reports the before/after latency percentiles plus migration
+counters.  ``--smoke`` (CI) additionally verifies the rebalanced router
+against a reference model and a never-rebalanced replay, and fails
+unless at least one migration ran.
+
 Usage::
 
     python -m repro.bench.serve --shards 4 --clients 16
     python -m repro.bench.serve --sweep 1,2,4,8       # scaling table
     python -m repro.bench.serve --system RocksDB --get-fraction 0.5
+    python -m repro.bench.serve --skew --shards 4     # hot-range + rebalancing
+    python -m repro.bench.serve --skew --smoke --sanitize --shards 2
 """
 
 from __future__ import annotations
@@ -39,21 +54,34 @@ import heapq
 import json
 import random
 import sys
+from dataclasses import replace
 
 # Wall-clock is reported alongside (never mixed into) simulated results.
 from time import perf_counter  # reprolint: allow[RL004]
 from typing import Any
 
-__all__ = ["run_serve", "main"]
+from repro.shard.rebalance import RebalanceConfig
+
+__all__ = ["run_serve", "run_serve_skew", "main"]
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
+    """Linear-interpolation percentile of an already-sorted sample.
+
+    Nearest-rank misreports tiny samples badly — on a 2-element sample
+    ``ceil(0.5 * 2) = 1`` makes p50 the *minimum* while p99 sits on the
+    maximum, so percentiles collapse onto the order statistics.  The
+    interpolated definition (NumPy's default) places ``q`` at fractional
+    position ``q * (N - 1)`` and blends the two neighbouring samples.
+    """
     if not sorted_values:
         return 0.0
-    rank = -(-q * len(sorted_values) // 1)  # ceil(q * N)
-    rank = min(len(sorted_values), max(1, int(rank)))
-    return sorted_values[rank - 1]
+    last = len(sorted_values) - 1
+    position = q * last
+    lower = int(position)
+    upper = min(lower + 1, last)
+    fraction = position - lower
+    return sorted_values[lower] + (sorted_values[upper] - sorted_values[lower]) * fraction
 
 
 def run_serve(
@@ -168,6 +196,244 @@ def run_serve(
     }
 
 
+def run_serve_skew(
+    system: str = "ART-LSM",
+    shards: int = 4,
+    rate_kops: float = 120.0,
+    ops: int = 60_000,
+    keys: int = 5_000,
+    value_bytes: int = 100,
+    get_fraction: float = 0.95,
+    theta: float = 0.99,
+    seed: int = 7,
+    rebalance: str | None = "on",
+    memory_bytes: int | None = None,
+    warmup_fraction: float = 0.25,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """One open-loop run of the hot-range scenario; returns metrics.
+
+    Gets draw plain Zipf ranks mapped onto *sorted* key positions, so
+    the popular keys are spatially clustered and a contiguous range
+    partition concentrates the load on one shard.  ``rebalance`` is a
+    :meth:`RebalanceConfig.from_spec` spec (``None`` disables — the
+    before side of the comparison).  Both sides use the weighted range
+    partitioner, so placement is identical until a boundary moves.
+
+    Unlike :func:`run_serve`, arrivals are *open loop*: a seeded Poisson
+    process offers ``rate_kops`` thousand ops per simulated second
+    regardless of how the fleet is keeping up, and latency is measured
+    from arrival.  A closed loop throttles its clients to whatever the
+    slowest shard sustains, so it compares the two configurations at
+    different offered loads — rebalancing doubles the achieved
+    throughput and the extra admitted ops mask the tail win.  Fixing the
+    offered load is the standard tail-latency methodology: both sides
+    see byte-identical arrival times, and the p99 difference is pure
+    queueing delay on the hot shard.
+
+    The latency percentiles exclude the first ``warmup_fraction`` of
+    ops (also standard): the rebalanced side pays a convergence
+    transient — the hot shard's queue peaks while the first migrations
+    are still in flight — and the interesting comparison is the steady
+    state each configuration settles into, not the cost of getting
+    there.  The warmup window applies identically to both sides, and
+    the full-run counters (throughput, makespan, per-shard ops) stay
+    unwindowed.
+
+    Migration work is charged to the source and destination engines and
+    extends their busy horizon in the queueing model: migrating competes
+    with serving on the involved shards, while the rest of the fleet
+    keeps serving — the "live" in live migration.
+
+    ``smoke`` keeps a reference dict model of every write and, after
+    draining any still-active migration, verifies ``get_many`` against
+    the model and ``scan`` against a never-rebalanced replay router.
+    """
+    from repro.systems.factory import build_system
+    from repro.workloads import ZipfianGenerator, random_insert_keys
+
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    if memory_bytes is None:
+        memory_bytes = max(64 * 1024, keys * (value_bytes + 64) // 3)
+    value = b"v" * value_bytes
+
+    # The harness drains migrations itself, opportunistically, whenever
+    # the involved pair of engines has no serving backlog ("migration
+    # runs at low priority").  The scheduler's own op-paced drain task
+    # is therefore pushed out to a backstop cadence: op pacing knows
+    # nothing about queue depth, and an op-paced drain floods the
+    # migrating pair with background work precisely while the rest of
+    # the fleet is fast.
+    config = RebalanceConfig.coerce(rebalance)
+    if config is not None:
+        config = replace(config, drain_interval_ops=1 << 30)
+
+    router = build_system(
+        "Sharded",
+        memory_limit_bytes=memory_bytes,
+        base_system=system,
+        shards=shards,
+        partitioner="weighted",
+        rebalance=config,
+    )
+
+    wall0 = perf_counter()
+    key_list = random_insert_keys(keys, key_space=1 << 40, seed=seed)
+    sorted_keys = sorted(key_list)
+    router.put_many(key_list, value)
+    router.flush()
+    preload_wall_s = perf_counter() - wall0
+
+    engines = router.shards
+    models = [shard.thread_model for shard in engines]
+    partitioner = router.partitioner
+    rebalancer = router.rebalancer
+
+    rng = random.Random(seed * 1000 + 1)
+    zipf = ZipfianGenerator(keys, theta=theta, seed=seed * 1000 + 2)
+    arrivals = random.Random(seed * 1000 + 3)
+    mean_gap_ns = 1e9 / (rate_kops * 1e3)
+    free_at = [0.0] * shards
+    shard_ops = [0] * shards
+    latencies_ns: list[float] = []
+    makespan_ns = 0.0
+    migration_busy_ns = 0.0
+    model: dict[int, bytes] = dict.fromkeys(key_list, value)
+
+    wall0 = perf_counter()
+    ready_ns = 0.0
+    for _ in range(ops):
+        ready_ns += arrivals.expovariate(1.0) * mean_gap_ns
+        if rng.random() < get_fraction:
+            key = sorted_keys[zipf.next()]
+            is_get = True
+        else:
+            key = rng.randrange(1 << 40)
+            is_get = False
+        sid = partitioner.shard_of(key)
+        involved = [sid]
+        befores = [engines[sid].snapshot()]
+        if is_get:
+            got = engines[sid].read(key)
+            migration = router.migration
+            if (
+                got is None
+                and migration is not None
+                and sid == migration.dst
+                and migration.covers(key)
+            ):
+                # The router's double-read seam: the key has not been
+                # copied off the migration source yet.
+                src = migration.src
+                befores.append(engines[src].snapshot())
+                engines[src].read(key)
+                involved.append(src)
+        else:
+            engines[sid].insert(key, value)
+            model[key] = value
+        service_ns = sum(
+            before.delta(engines[s].snapshot()).elapsed_ns(1, models[s])
+            for s, before in zip(involved, befores)
+        )
+        start_ns = max([ready_ns] + [free_at[s] for s in involved])
+        finish_ns = start_ns + service_ns
+        for s in involved:
+            free_at[s] = finish_ns
+        shard_ops[sid] += 1
+        latencies_ns.append(finish_ns - ready_ns)
+        if finish_ns > makespan_ns:
+            makespan_ns = finish_ns
+
+        # Heat + drain + pacing.  Draining is opportunistic: a chunk
+        # moves only when neither involved engine has a serving backlog
+        # (their busy horizon is at or behind the current simulated
+        # frontier) — migration runs at low priority, consuming idle
+        # capacity instead of starving queued requests.  Its simulated
+        # cost lands on the source and destination clocks and extends
+        # their busy horizon; the rest of the fleet keeps serving.
+        router.note_heat(sid, key, service_ns, start_ns - ready_ns)
+        active = router.migration
+        if (
+            active is not None
+            and rebalancer is not None
+            and free_at[active.src] <= finish_ns
+            and free_at[active.dst] <= finish_ns
+        ):
+            asrc, adst = active.src, active.dst
+            src_before = engines[asrc].snapshot()
+            dst_before = engines[adst].snapshot()
+            rebalancer.drain_tick()
+            src_ns = src_before.delta(engines[asrc].snapshot()).elapsed_ns(1, models[asrc])
+            dst_ns = dst_before.delta(engines[adst].snapshot()).elapsed_ns(1, models[adst])
+            free_at[asrc] += src_ns
+            free_at[adst] += dst_ns
+            migration_busy_ns += src_ns + dst_ns
+        router.maintenance_tick(1)
+    serve_wall_s = perf_counter() - wall0
+
+    migrations = rebalancer.migrations_started if rebalancer is not None else 0
+    keys_moved = rebalancer.keys_moved if rebalancer is not None else 0
+
+    smoke_ok: bool | None = None
+    if smoke:
+        # Quiesce: drain any still-active migration, then verify.
+        guard = 0
+        while router.migration is not None and rebalancer is not None:
+            rebalancer.drain_tick()
+            guard += 1
+            if guard > 100_000:
+                raise RuntimeError("migration failed to drain")
+        probe = sorted(model)
+        gets_ok = router.get_many(probe) == [model[k] for k in probe]
+        reference = build_system(
+            "Sharded",
+            memory_limit_bytes=memory_bytes,
+            base_system=system,
+            shards=shards,
+            partitioner="weighted",
+        )
+        reference.put_many(probe, value)
+        starts = [probe[0], probe[len(probe) // 2], probe[-10]]
+        scans_ok = all(
+            router.scan(start, 100) == reference.scan(start, 100) for start in starts
+        )
+        smoke_ok = gets_ok and scans_ok
+
+    warmup_ops = int(ops * warmup_fraction)
+    measured = latencies_ns[warmup_ops:]
+    measured.sort()
+    makespan_s = makespan_ns / 1e9 if makespan_ns > 0 else 1e-12
+    result = {
+        "system": system,
+        "scenario": "skew",
+        "shards": shards,
+        "rate_kops": rate_kops,
+        "ops": ops,
+        "warmup_ops": warmup_ops,
+        "keys": keys,
+        "get_fraction": get_fraction,
+        "theta": theta,
+        "memory_bytes": memory_bytes,
+        "rebalance": rebalance if rebalance is not None else "off",
+        "throughput_kops": round(ops / makespan_s / 1e3, 3),
+        "p50_us": round(_percentile(measured, 0.50) / 1e3, 3),
+        "p95_us": round(_percentile(measured, 0.95) / 1e3, 3),
+        "p99_us": round(_percentile(measured, 0.99) / 1e3, 3),
+        "mean_us": round(sum(measured) / len(measured) / 1e3, 3),
+        "makespan_ms": round(makespan_ns / 1e6, 3),
+        "per_shard_ops": shard_ops,
+        "migrations": migrations,
+        "keys_moved": keys_moved,
+        "migration_busy_ms": round(migration_busy_ns / 1e6, 3),
+        "preload_wall_s": round(preload_wall_s, 3),
+        "serve_wall_s": round(serve_wall_s, 3),
+    }
+    if smoke_ok is not None:
+        result["smoke_ok"] = smoke_ok
+    return result
+
+
 def _print_row(r: dict[str, Any]) -> None:
     print(
         f"  {r['shards']:>6} {r['clients']:>7} {r['ops']:>8}"
@@ -176,21 +442,124 @@ def _print_row(r: dict[str, Any]) -> None:
     )
 
 
+def _main_skew(args: argparse.Namespace, shard_counts: list[int]) -> int:
+    """The ``--skew`` driver: before/after rebalancing per shard count."""
+    theta = args.theta if args.theta is not None else 0.99
+    if not args.json:
+        print(
+            f"repro.bench.serve --skew: {args.system}, open loop at "
+            f"{args.rate:g} kops/sim-s, {args.ops} ops, zipf(theta={theta}) "
+            f"over sorted keys, {args.get_fraction:.0%} gets, "
+            f"rebalance spec {args.rebalance!r}"
+        )
+        print(
+            f"  {'shards':>6} {'rebalance':>10} {'p50_us':>9} {'p95_us':>9}"
+            f" {'p99_us':>9} {'kops/sim-s':>12} {'migr':>5} {'moved':>7}"
+        )
+    failures: list[str] = []
+    for shards in shard_counts:
+        pair: list[dict[str, Any]] = []
+        for spec in (None, args.rebalance):
+            r = run_serve_skew(
+                system=args.system,
+                shards=shards,
+                rate_kops=args.rate,
+                ops=args.ops,
+                keys=args.keys,
+                value_bytes=args.value_bytes,
+                get_fraction=args.get_fraction,
+                theta=theta,
+                seed=args.seed,
+                rebalance=spec,
+                memory_bytes=args.memory_bytes,
+                warmup_fraction=args.warmup_fraction,
+                smoke=args.smoke,
+            )
+            pair.append(r)
+            if args.json:
+                print(json.dumps(r))
+            else:
+                print(
+                    f"  {r['shards']:>6} {r['rebalance'][:10]:>10} {r['p50_us']:>9.1f}"
+                    f" {r['p95_us']:>9.1f} {r['p99_us']:>9.1f}"
+                    f" {r['throughput_kops']:>12.1f} {r['migrations']:>5}"
+                    f" {r['keys_moved']:>7}"
+                )
+        before, after = pair
+        if not args.json and after["p99_us"] > 0:
+            ratio = before["p99_us"] / after["p99_us"]
+            print(f"  p99 improvement at {shards} shard(s): {ratio:.2f}x")
+        if args.smoke and shards > 1:
+            if after["migrations"] < 1:
+                failures.append(f"{shards} shards: no migration occurred")
+            if not after.get("smoke_ok", False):
+                failures.append(
+                    f"{shards} shards: rebalanced results diverged from the "
+                    "reference model / never-rebalanced replay"
+                )
+            if before.get("smoke_ok") is False:
+                failures.append(f"{shards} shards: baseline run diverged")
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.smoke and not args.json:
+        print("  smoke: migrations occurred and post-migration reads/scans verified")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench.serve", description=__doc__)
     parser.add_argument("--system", default="ART-LSM", help="base system per shard")
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--clients", type=int, default=16)
-    parser.add_argument("--ops", type=int, default=20_000)
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        help="request count (default 20000; 60000 with --skew)",
+    )
     parser.add_argument("--keys", type=int, default=5_000, help="preloaded key count")
     parser.add_argument("--value-bytes", type=int, default=100)
     parser.add_argument("--get-fraction", type=float, default=0.95)
-    parser.add_argument("--theta", type=float, default=0.7, help="Zipfian skew")
+    parser.add_argument(
+        "--theta",
+        type=float,
+        default=None,
+        help="Zipfian skew (default 0.7; 0.99 with --skew)",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--workers", type=int, default=0, help="batch-dispatch threads")
-    parser.add_argument("--partitioner", choices=("hash", "range"), default="hash")
+    parser.add_argument("--partitioner", choices=("hash", "range", "weighted"), default="hash")
     parser.add_argument("--memory-bytes", type=int, default=None, help="total budget")
     parser.add_argument("--sweep", default=None, help="comma-separated shard counts")
+    parser.add_argument(
+        "--skew",
+        action="store_true",
+        help="hot-range scenario: before/after elastic rebalancing",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --skew: verify correctness and require >= 1 migration",
+    )
+    parser.add_argument(
+        "--rebalance",
+        default="threshold:2.2+cooldown:8",
+        help="rebalance spec for the --skew 'after' run (RebalanceConfig.from_spec)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=120.0,
+        help="with --skew: offered load in kops per simulated second (open loop)",
+    )
+    parser.add_argument(
+        "--warmup-fraction",
+        type=float,
+        default=0.25,
+        help="with --skew: fraction of ops excluded from latency percentiles",
+    )
     parser.add_argument("--sanitize", action="store_true", help="enable runtime sanitizers")
     parser.add_argument("--json", action="store_true", help="emit metrics as JSON lines")
     args = parser.parse_args(argv)
@@ -206,10 +575,17 @@ def main(argv: list[str] | None = None) -> int:
         else [args.shards]
     )
 
+    if args.ops is None:
+        args.ops = 60_000 if args.skew else 20_000
+
+    if args.skew:
+        return _main_skew(args, shard_counts)
+
+    theta = args.theta if args.theta is not None else 0.7
     if not args.json:
         print(
             f"repro.bench.serve: {args.system}, {args.clients} closed-loop clients, "
-            f"{args.ops} ops, zipf(theta={args.theta}) {args.get_fraction:.0%} gets"
+            f"{args.ops} ops, zipf(theta={theta}) {args.get_fraction:.0%} gets"
         )
         print(
             f"  {'shards':>6} {'clients':>7} {'ops':>8} {'kops/sim-s':>12}"
@@ -225,7 +601,7 @@ def main(argv: list[str] | None = None) -> int:
             keys=args.keys,
             value_bytes=args.value_bytes,
             get_fraction=args.get_fraction,
-            theta=args.theta,
+            theta=theta,
             seed=args.seed,
             workers=args.workers,
             partitioner=args.partitioner,

@@ -1046,7 +1046,91 @@ def check_shard_router(router: "ShardRouter") -> list[Violation]:
                     f"{sid} after shard {previous}",
                 )
             previous = max(previous, sid)
+    _check_weighted_boundaries(out, partitioner)
+    _check_migration(out, router)
     return out.violations
+
+
+def _check_weighted_boundaries(out: "_Collector", partitioner: object) -> None:
+    """Boundary-table audit of a :class:`WeightedRangePartitioner`.
+
+    The partitioner validates every ``move_boundary``, but the table is
+    swapped wholesale by the rebalancer, so the sweep re-audits the live
+    tuple: a corrupted table silently misroutes every subsequent key.
+    """
+    boundaries = getattr(partitioner, "boundaries", None)
+    if boundaries is None:
+        return
+    shards = partitioner.shards  # type: ignore[attr-defined]
+    key_space = partitioner.key_space  # type: ignore[attr-defined]
+    if len(boundaries) != shards + 1:
+        out.add(
+            "shard-boundary",
+            f"boundary table has {len(boundaries)} entries for {shards} "
+            f"shards; need shards + 1",
+        )
+        return
+    if boundaries[0] != 0 or boundaries[-1] != key_space:
+        out.add(
+            "shard-boundary",
+            f"boundary table must span [0, {key_space}], got "
+            f"[{boundaries[0]}, {boundaries[-1]}]",
+        )
+    if any(a >= b for a, b in zip(boundaries, boundaries[1:])):
+        out.add(
+            "shard-boundary",
+            f"boundaries not strictly increasing (an empty shard range): "
+            f"{list(boundaries)}",
+        )
+
+
+def _check_migration(out: "_Collector", router: "ShardRouter") -> None:
+    """In-flight migration descriptor invariants (DESIGN.md §11).
+
+    The protocol's commit point publishes the descriptor and swaps the
+    routing table together, so whenever a sweep observes a descriptor
+    the in-flight range must already route to the destination — any key
+    in ``[lo, hi)`` resolving to another shard means the double-read
+    seam is reading the wrong pair of engines.
+    """
+    migration = getattr(router, "migration", None)
+    if migration is None:
+        return
+    n = len(router.shards)
+    if not (0 <= migration.src < n and 0 <= migration.dst < n):
+        out.add(
+            "shard-migration",
+            f"migration {migration.src}->{migration.dst} names shards "
+            f"outside [0, {n})",
+        )
+        return
+    if abs(migration.src - migration.dst) != 1:
+        out.add(
+            "shard-migration",
+            f"migration {migration.src}->{migration.dst} is not between "
+            "adjacent shards",
+        )
+    if not migration.lo < migration.hi:
+        out.add(
+            "shard-migration",
+            f"migration range [{migration.lo}, {migration.hi}) is empty",
+        )
+    if not migration.lo <= migration.cursor <= migration.hi:
+        out.add(
+            "shard-migration",
+            f"drain cursor {migration.cursor} outside "
+            f"[{migration.lo}, {migration.hi}]",
+        )
+    partitioner = router.partitioner
+    for key in (migration.lo, migration.hi - 1):
+        sid = partitioner.shard_of(key)
+        if sid != migration.dst:
+            out.add(
+                "shard-migration",
+                f"in-flight key {key} routes to shard {sid}, not the "
+                f"migration destination {migration.dst}; the routing table "
+                "swap and the descriptor are out of sync",
+            )
 
 
 class ShardSanitizer:

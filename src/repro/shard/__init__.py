@@ -3,10 +3,12 @@
 Partitions the key space over N independent single-engine systems (each
 with its own :class:`~repro.sim.runtime.EngineRuntime`) behind a
 batching :class:`~repro.shard.router.ShardRouter`.  See DESIGN.md §8 for
-the architecture and EXPERIMENTS.md for the concurrent-serving
-methodology.
+the architecture, §11 for the elastic-resharding layer (heat tracking,
+live key-range migration), and EXPERIMENTS.md for the
+concurrent-serving methodology.
 """
 
+from repro.shard.heat import ShardHeat
 from repro.shard.ownership import (
     OwnershipViolation,
     dispatch_armed,
@@ -17,18 +19,25 @@ from repro.shard.partition import (
     HashPartitioner,
     Partitioner,
     RangePartitioner,
+    WeightedRangePartitioner,
     make_partitioner,
 )
 from repro.shard.pool import ShardWorkerPool
+from repro.shard.rebalance import RangeMigration, RebalanceConfig, Rebalancer
 from repro.shard.router import ShardRouter
 
 __all__ = [
     "HashPartitioner",
     "OwnershipViolation",
     "Partitioner",
+    "RangeMigration",
     "RangePartitioner",
+    "RebalanceConfig",
+    "Rebalancer",
+    "ShardHeat",
     "ShardRouter",
     "ShardWorkerPool",
+    "WeightedRangePartitioner",
     "dispatch_armed",
     "distinct_ids",
     "make_partitioner",

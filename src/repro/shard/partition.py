@@ -11,19 +11,31 @@ needs.  Two placements are offered:
   each shard's keys contiguous, so range scans start at the owning shard
   and walk forward; load balance then depends on the workload's key
   distribution.
+* :class:`WeightedRangePartitioner` — contiguous slices with *movable*
+  boundaries: the elastic-resharding layer (DESIGN.md §11) shifts a
+  boundary between adjacent shards to shed load off a hot shard, and
+  the whole boundary tuple is replaced in one assignment so concurrent
+  readers observe either the old or the new routing table, never a mix.
 
-Both are deterministic across processes and Python versions: the hash
+All are deterministic across processes and Python versions: the hash
 mix is an explicit integer permutation (splitmix64's finalizer), never
 Python's salted ``hash``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Sequence
 
 from repro.shard.ownership import distinct_ids, shared_readonly
 
-__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner", "make_partitioner"]
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "WeightedRangePartitioner",
+    "make_partitioner",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -130,10 +142,105 @@ class RangePartitioner(Partitioner):
         return key * self.shards // self.key_space
 
 
+class WeightedRangePartitioner(Partitioner):
+    """Contiguous slices of ``[0, key_space)`` with movable boundaries.
+
+    ``boundaries[sid]`` is the first key of shard ``sid`` and
+    ``boundaries[shards]`` caps the space, so shard ``sid`` owns
+    ``[boundaries[sid], boundaries[sid + 1])``.  The default boundaries
+    reproduce :class:`RangePartitioner` placement exactly; the
+    rebalancer then moves one interior boundary per migration via
+    :meth:`move_boundary`, which swaps the whole tuple in a single
+    attribute assignment — the atomic routing-table swap the migration
+    protocol's happens-before edge relies on (DESIGN.md §11).
+    """
+
+    ordered = True
+
+    def __init__(
+        self, shards: int, key_space: int, boundaries: Sequence[int] | None = None
+    ) -> None:
+        super().__init__(shards)
+        if key_space < shards:
+            raise ValueError(
+                f"key_space must be >= shards, got {key_space} < {shards}"
+            )
+        self.key_space = key_space
+        if boundaries is None:
+            # ceil(sid * key_space / shards): the exact inverse of
+            # RangePartitioner's ``key * shards // key_space``, so the
+            # initial placement matches it key for key.
+            boundaries = [-(-sid * key_space // shards) for sid in range(shards + 1)]
+        self.boundaries: tuple[int, ...] = self._validated(tuple(boundaries))
+
+    def _validated(self, boundaries: tuple[int, ...]) -> tuple[int, ...]:
+        if len(boundaries) != self.shards + 1:
+            raise ValueError(
+                f"need {self.shards + 1} boundaries for {self.shards} shards, "
+                f"got {len(boundaries)}"
+            )
+        if boundaries[0] != 0 or boundaries[-1] != self.key_space:
+            raise ValueError(
+                f"boundaries must span [0, {self.key_space}], got "
+                f"[{boundaries[0]}, {boundaries[-1]}]"
+            )
+        if any(a >= b for a, b in zip(boundaries, boundaries[1:])):
+            raise ValueError(
+                f"boundaries must be strictly increasing (no empty shards): "
+                f"{list(boundaries)}"
+            )
+        return boundaries
+
+    def shard_of(self, key: int) -> int:
+        if key <= 0:
+            return 0
+        if key >= self.key_space:
+            return self.shards - 1
+        return bisect_right(self.boundaries, key) - 1
+
+    def shard_range(self, sid: int) -> tuple[int, int]:
+        """The half-open key range ``[lo, hi)`` shard ``sid`` owns."""
+        bounds = self.boundaries
+        return bounds[sid], bounds[sid + 1]
+
+    def move_boundary(self, index: int, key: int) -> None:
+        """Move interior boundary ``index`` to ``key`` (foreground only).
+
+        The new boundary must stay strictly between its neighbours, so
+        no shard's range ever becomes empty.  The replacement is one
+        tuple assignment: any concurrent ``shard_of`` sees the old or
+        the new table in full.  ``@shared_readonly`` (inherited) makes
+        calling this while a dispatch is armed a checked error.
+        """
+        bounds = self.boundaries
+        if not 0 < index < self.shards:
+            raise ValueError(
+                f"boundary index must be interior (1..{self.shards - 1}), got {index}"
+            )
+        if not bounds[index - 1] < key < bounds[index + 1]:
+            raise ValueError(
+                f"boundary {index} must stay in ({bounds[index - 1]}, "
+                f"{bounds[index + 1]}), got {key}"
+            )
+        self.boundaries = bounds[:index] + (key,) + bounds[index + 1 :]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedRangePartitioner(shards={self.shards}, "
+            f"boundaries={list(self.boundaries)})"
+        )
+
+
 def make_partitioner(kind: str, shards: int, key_space: int) -> Partitioner:
-    """Build a partitioner by name (``"hash"`` or ``"range"``)."""
+    """Build a partitioner by name (``"hash"``, ``"range"`` or ``"weighted"``)."""
+    if shards <= 0:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     if kind == "hash":
         return HashPartitioner(shards)
     if kind == "range":
         return RangePartitioner(shards, key_space)
-    raise ValueError(f"unknown partitioner {kind!r}; choose from ('hash', 'range')")
+    if kind == "weighted":
+        return WeightedRangePartitioner(shards, key_space)
+    raise ValueError(
+        f"unknown partitioner {kind!r}; choose from ('hash', 'range', 'weighted')"
+    )

@@ -23,6 +23,17 @@ systems; sharding multiplies them without changing them.  The router
 itself holds no simulated substrate: its inherited runtime stays at zero
 and :meth:`snapshot` aggregates across shards.
 
+Elastic resharding (``rebalance=``, DESIGN.md §11): with a weighted
+range partitioner the router tracks per-shard heat and registers a
+:class:`~repro.shard.rebalance.Rebalancer` as a paced task on its own
+(otherwise dormant) background scheduler.  While a key-range migration
+is in flight the data path is migration-aware: reads of the in-flight
+range double-read (destination first, then the source for keys not yet
+copied), deletes apply to both shards so the double-read cannot
+resurrect a deleted key, and scans merge the source's leftovers with
+destination priority.  All migration and heat mutation happens on the
+foreground thread — dispatched thunks still only read shared state.
+
 Dispatch-loop discipline (reprolint RL008): batches are partitioned
 once and dispatched once; loop bodies bind every shard handle to a
 local and write only to function-local accumulators, never to router
@@ -36,8 +47,14 @@ from heapq import merge as heapq_merge
 from operator import itemgetter
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
-from repro.shard.partition import Partitioner, make_partitioner
+from repro.shard.heat import ShardHeat
+from repro.shard.partition import (
+    Partitioner,
+    WeightedRangePartitioner,
+    make_partitioner,
+)
 from repro.shard.pool import ShardWorkerPool
+from repro.shard.rebalance import RangeMigration, RebalanceConfig, Rebalancer
 from repro.sim.costs import CostModel
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem, Snapshot
@@ -71,6 +88,7 @@ class ShardRouter(KVSystem):
         costs: CostModel | None = None,
         thread_model: ThreadModel | None = None,
         debug_checks: bool | None = None,
+        rebalance: RebalanceConfig | str | bool | None = None,
         **system_kwargs: Any,
     ) -> None:
         # The inherited runtime is dormant bookkeeping only: the router
@@ -112,6 +130,38 @@ class ShardRouter(KVSystem):
             for __ in range(shards)
         ]
         self.name = f"Sharded-{base_system}x{shards}"
+        # Elastic resharding state: heat ledger, in-flight migration,
+        # and the paced rebalancer task.  All three are foreground-only.
+        self.heat: ShardHeat | None = None
+        self.migration: RangeMigration | None = None
+        self.rebalancer: Rebalancer | None = None
+        config = RebalanceConfig.coerce(rebalance)
+        if config is not None:
+            if not isinstance(self.partitioner, WeightedRangePartitioner):
+                raise ValueError(
+                    "rebalancing needs movable range boundaries; pass "
+                    "partitioner='weighted' (got "
+                    f"{type(self.partitioner).__name__})"
+                )
+            self.heat = ShardHeat(
+                shards, decay=config.decay, sample_size=config.sample_size
+            )
+            self.rebalancer = Rebalancer(self, config)
+            self.runtime.scheduler.register(
+                "rebalance",
+                self.rebalancer.run_once,
+                pacing_interval_ops=config.interval_ops,
+                periodic=True,
+            )
+            # Draining paces much tighter than planning: while a range
+            # is in flight its hot keys double-read and couple two
+            # engines, so the window must close in many small steps.
+            self.runtime.scheduler.register(
+                "rebalance_drain",
+                self.rebalancer.drain_tick,
+                pacing_interval_ops=config.drain_interval_ops,
+                periodic=True,
+            )
         self.sanitizer: Optional[Any] = None
         self.ownership: Optional[Any] = None
         if debug_checks:
@@ -125,23 +175,40 @@ class ShardRouter(KVSystem):
         return len(self.shards)
 
     # ------------------------------------------------------------------
-    # single operations: route to the owning shard, nothing else
+    # single operations: route to the owning shard; while a migration is
+    # in flight the in-flight range double-reads (dst first, then src)
+    # and deletes on both shards (so the double-read cannot resurrect)
     # ------------------------------------------------------------------
-    def insert(self, key: int, value: bytes) -> None:
-        self.shards[self.partitioner.shard_of(key)].insert(key, value)
+    def _after_single(self, sid: int, key: int) -> None:
+        """Foreground bookkeeping after one routed operation."""
+        if self.heat is not None:
+            self.heat.note(sid, key)
+            self.runtime.scheduler.tick(1)
         if self.sanitizer is not None:
             self.sanitizer.after_op()
 
+    def insert(self, key: int, value: bytes) -> None:
+        sid = self.partitioner.shard_of(key)
+        self.shards[sid].insert(key, value)
+        self._after_single(sid, key)
+
     def read(self, key: int) -> Optional[bytes]:
-        value = self.shards[self.partitioner.shard_of(key)].read(key)
-        if self.sanitizer is not None:
-            self.sanitizer.after_op()
+        sid = self.partitioner.shard_of(key)
+        value = self.shards[sid].read(key)
+        if value is None:
+            migration = self.migration
+            if migration is not None and sid == migration.dst and migration.covers(key):
+                value = self.shards[migration.src].read(key)
+        self._after_single(sid, key)
         return value
 
     def delete(self, key: int) -> bool:
-        present = self.shards[self.partitioner.shard_of(key)].delete(key)
-        if self.sanitizer is not None:
-            self.sanitizer.after_op()
+        sid = self.partitioner.shard_of(key)
+        present = self.shards[sid].delete(key)
+        migration = self.migration
+        if migration is not None and sid == migration.dst and migration.covers(key):
+            present = self.shards[migration.src].delete(key) or present
+        self._after_single(sid, key)
         return present
 
     # ------------------------------------------------------------------
@@ -161,14 +228,22 @@ class ShardRouter(KVSystem):
             return self.ownership.dispatch(self.pool, sids, work)
         return self.pool.run(work)
 
+    def _after_batch(self, sizes: list[int]) -> None:
+        """Foreground bookkeeping after one batched dispatch."""
+        total = sum(sizes)
+        if self.heat is not None:
+            self.heat.note_batch(sizes)
+            self.runtime.scheduler.tick(total)
+        if self.sanitizer is not None:
+            self.sanitizer.after_batch(total)
+
     def put_many(self, keys: Iterable[int], value: bytes) -> None:
         batches = self.partitioner.split(keys)
         shards = self.shards
         dispatched = [sid for sid, batch in enumerate(batches) if batch]
         work = [partial(shards[sid].put_many, batches[sid], value) for sid in dispatched]
         self._dispatch(dispatched, work)
-        if self.sanitizer is not None:
-            self.sanitizer.after_batch(sum(len(b) for b in batches))
+        self._after_batch([len(batch) for batch in batches])
 
     def get_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         key_list = list(keys)
@@ -185,9 +260,35 @@ class ShardRouter(KVSystem):
             pos = positions[sid]
             for i, value in zip(pos, values, strict=True):
                 out[i] = value
-        if self.sanitizer is not None:
-            self.sanitizer.after_batch(len(key_list))
+        migration = self.migration
+        if migration is not None:
+            self._backfill_in_flight(key_list, out, migration)
+        self._after_batch([len(batch) for batch in batches])
         return out
+
+    def _backfill_in_flight(
+        self,
+        keys: list[int],
+        out: list[Optional[bytes]],
+        migration: RangeMigration,
+    ) -> None:
+        """Second read of in-flight misses against the migration source.
+
+        Runs on the foreground after the scatter barrier: keys in the
+        in-flight range route to the destination, but ones not yet
+        copied still live on the source.
+        """
+        covers = migration.covers
+        missing = [
+            i
+            for i, (key, value) in enumerate(zip(keys, out))
+            if value is None and covers(key)
+        ]
+        if not missing:
+            return
+        src_values = self.shards[migration.src].get_many([keys[i] for i in missing])
+        for i, value in zip(missing, src_values, strict=True):
+            out[i] = value
 
     def delete_many(self, keys: Iterable[int]) -> list[bool]:
         key_list = list(keys)
@@ -201,14 +302,31 @@ class ShardRouter(KVSystem):
             pos = positions[sid]
             for i, flag in zip(pos, flags, strict=True):
                 out[i] = flag
-        if self.sanitizer is not None:
-            self.sanitizer.after_batch(len(key_list))
+        migration = self.migration
+        if migration is not None:
+            # Deletes of the in-flight range must reach the source copy
+            # too, or the double-read would resurrect the key.
+            covers = migration.covers
+            in_flight = [i for i, key in enumerate(key_list) if covers(key)]
+            if in_flight:
+                src_flags = self.shards[migration.src].delete_many(
+                    [key_list[i] for i in in_flight]
+                )
+                for i, flag in zip(in_flight, src_flags, strict=True):
+                    out[i] = out[i] or flag
+        self._after_batch([len(batch) for batch in batches])
         return out
 
     # ------------------------------------------------------------------
     # range scans: per-shard scans, k-way merge
     # ------------------------------------------------------------------
     def scan(self, key: int, count: int) -> list[tuple[bytes, bytes]]:
+        migration = self.migration
+        if migration is not None:
+            result = self._scan_migrating(key, count, migration)
+            if self.sanitizer is not None:
+                self.sanitizer.after_op()
+            return result
         shards = self.shards
         consult = self.partitioner.scan_shard_ids(key)
         if self.partitioner.ordered:
@@ -228,6 +346,53 @@ class ShardRouter(KVSystem):
         if self.sanitizer is not None:
             self.sanitizer.after_op()
         return result
+
+    def _scan_migrating(
+        self, key: int, count: int, migration: RangeMigration
+    ) -> list[tuple[bytes, bytes]]:
+        """Range scan while a migration is in flight.
+
+        The in-flight range is double-resident: un-copied keys live only
+        on the source, and a key freshly written to the destination may
+        still have a stale twin on the source.  The early-exit walk is
+        therefore unsound mid-migration; instead every consulted shard
+        (plus the source, which physically holds in-flight keys the
+        routing table no longer maps to it) is scanned and merged with
+        destination priority — the source stream is folded in first so
+        any other shard's entry for the same key overwrites it.
+        """
+        shards = self.shards
+        consult = self.partitioner.scan_shard_ids(key)
+        others = [sid for sid in consult if sid != migration.src]
+        merged: dict[bytes, bytes] = dict(shards[migration.src].scan(key, count))
+        streams = [shards[sid].scan(key, count) for sid in others]
+        for pairs in streams:
+            merged.update(pairs)
+        return [(k, merged[k]) for k in sorted(merged)[:count]]
+
+    # ------------------------------------------------------------------
+    # elastic-resharding seams (serving harness / tests)
+    # ------------------------------------------------------------------
+    def note_heat(
+        self, sid: int, key: int, service_ns: float = 0.0, queue_ns: float = 0.0
+    ) -> None:
+        """Feed externally measured load into the heat ledger.
+
+        The serving harness drives shard engines directly (it owns the
+        queueing model), so it reports per-request service and queueing
+        time here instead of through the router's own op hooks.
+        """
+        if self.heat is not None:
+            self.heat.note(sid, key, service_ns, queue_ns)
+
+    def maintenance_tick(self, ops: int = 1) -> None:
+        """Advance the router's background pacing clock by ``ops``.
+
+        The rebalancer runs (plans or advances a migration) when its
+        pacing interval elapses.  Foreground-only, like every router
+        maintenance seam.
+        """
+        self.runtime.scheduler.tick(ops)
 
     # ------------------------------------------------------------------
     # lifecycle / accounting

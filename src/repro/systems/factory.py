@@ -145,6 +145,39 @@ def registered_systems() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def split_rebalance_spec(spec: str) -> tuple[str, str | None]:
+    """Split ``rebalance=...`` parts out of a system spec.
+
+    ``Sharded@rebalance=on`` and
+    ``Sharded@block=s3fifo,rebalance=threshold:1.3+interval:128`` both
+    route their ``rebalance`` value (the grammar of
+    :meth:`~repro.shard.rebalance.RebalanceConfig.from_spec`) to the
+    router's ``rebalance=`` argument; the remaining parts stay a normal
+    cache-policy spec.  Only ``Sharded`` accepts the knob — it names a
+    router mechanism no single-engine system has.
+    """
+    name, sep, params = spec.partition("@")
+    if not sep:
+        return spec, None
+    kept: list[str] = []
+    rebalance: str | None = None
+    for part in params.split(","):
+        key, eq, value = part.partition("=")
+        if eq and key.strip() == "rebalance":
+            if name != "Sharded":
+                raise ValueError(
+                    f"system {name!r} does not rebalance; 'rebalance=' is a "
+                    "'Sharded' spec knob"
+                )
+            if rebalance is not None:
+                raise ValueError(f"'rebalance' named twice in spec {spec!r}")
+            rebalance = value.strip()
+        elif part.strip():
+            kept.append(part)
+    remainder = name + (f"@{','.join(kept)}" if kept else "")
+    return remainder, rebalance
+
+
 def parse_system_spec(spec: str) -> tuple[str, CachePolicyConfig | None]:
     """Split ``name@layer=policy,...`` into (name, cache policies).
 
@@ -184,8 +217,20 @@ def build_system(
     ``name`` accepts cache-policy specs like ``ART-LSM@block=s3fifo`` or
     ``B+-B+@pool=mglru``; the part after ``@`` selects per-layer eviction
     policies (equivalent to passing ``cache_policies=``, which must not
-    be given alongside a spec).
+    be given alongside a spec).  ``Sharded`` specs additionally accept a
+    ``rebalance=`` part (e.g. ``Sharded@rebalance=on`` or
+    ``Sharded@rebalance=threshold:1.3+interval:128``) that configures
+    the router's elastic-resharding layer — equivalent to passing
+    ``rebalance=`` directly, which must not be given alongside it.
     """
+    name, spec_rebalance = split_rebalance_spec(name)
+    if spec_rebalance is not None:
+        if kwargs.get("rebalance") is not None:
+            raise ValueError(
+                "system spec already selects a rebalance config; "
+                "drop the explicit rebalance argument"
+            )
+        kwargs["rebalance"] = spec_rebalance
     name, spec_policies = parse_system_spec(name)
     if spec_policies is not None:
         if kwargs.get("cache_policies") is not None:

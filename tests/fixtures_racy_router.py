@@ -21,6 +21,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Iterable, Optional
 
+from repro.shard.rebalance import RangeMigration
 from repro.shard.router import ShardRouter
 from repro.systems.base import KVSystem
 
@@ -85,6 +86,32 @@ class RebalancingRouter(ShardRouter):
         shard.put_many(batch, value)
 
 
+class MidDispatchResharder(ShardRouter):
+    """RL203 at the migration seam: a dispatched thunk performs the
+    routing-table swap itself — writing the shared partitioner's
+    boundary tuple while the scatter it is part of is still in flight,
+    so sibling thunks may route against either table."""
+
+    def put_many(self, keys: Iterable[int], value: bytes) -> None:
+        batches = self.partitioner.split(keys)
+        shards = self.shards
+        dispatched = [sid for sid, batch in enumerate(batches) if batch]
+        work = [
+            partial(self._put_resharding, sid, shards[sid], batches[sid], value)
+            for sid in dispatched
+        ]
+        self._dispatch(dispatched, work)
+
+    def _put_resharding(
+        self, sid: int, shard: KVSystem, batch: list[int], value: bytes
+    ) -> None:
+        shard.put_many(batch, value)
+        if sid == 0 and hasattr(self.partitioner, "boundaries"):
+            bounds = self.partitioner.boundaries  # type: ignore[attr-defined]
+            shifted = (bounds[0], bounds[1] + 1, *bounds[2:])
+            self.partitioner.boundaries = shifted  # type: ignore[attr-defined]
+
+
 class BarrierBypassRouter(ShardRouter):
     """RL204: dispatches straight to the executor and joins futures by
     hand — side-stepping the pool.run scatter barrier (and the ownership
@@ -128,6 +155,23 @@ class CleanCountingRouter(ShardRouter):
 
     def _get_plain(self, shard: KVSystem, batch: list[int]) -> list[Optional[bytes]]:
         return shard.get_many(batch)
+
+
+class CleanMigrationRouter(ShardRouter):
+    """Clean counterpart of :class:`MidDispatchResharder`: the migration
+    commit point — descriptor publish plus boundary swap — runs on the
+    foreground *between* dispatches, exactly as the real rebalancer
+    does; dispatched thunks only ever read the routing table."""
+
+    def put_then_reshard(self, keys: list[int], value: bytes, split: int) -> None:
+        self.put_many(keys, value)  # a full scatter/gather completes first
+        partitioner = self.partitioner
+        if hasattr(partitioner, "move_boundary") and self.migration is None:
+            lo, hi = partitioner.shard_range(0)  # type: ignore[attr-defined]
+            if lo < split < hi:
+                self.migration = RangeMigration(src=0, dst=1, lo=split, hi=hi)
+                partitioner.move_boundary(1, split)  # type: ignore[attr-defined]
+        self.put_many(keys, value)  # routed against the swapped table
 
 
 class CleanRetuneRouter(ShardRouter):

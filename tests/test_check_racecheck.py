@@ -27,8 +27,10 @@ from repro.shard import OwnershipViolation, ShardRouter, ShardWorkerPool
 from tests.fixtures_racy_router import (
     BarrierBypassRouter,
     CleanCountingRouter,
+    CleanMigrationRouter,
     CleanRetuneRouter,
     CrossShardRouter,
+    MidDispatchResharder,
     RebalancingRouter,
     SharedStatsRouter,
 )
@@ -44,6 +46,8 @@ REAL_RELS = (
     "shard/partition.py",
     "shard/pool.py",
     "shard/ownership.py",
+    "shard/heat.py",
+    "shard/rebalance.py",
     "systems/base.py",
 )
 
@@ -52,10 +56,11 @@ EXPECTED = {
     "CrossShardRouter": "RL202",
     "SharedStatsRouter": "RL201",
     "RebalancingRouter": "RL203",
+    "MidDispatchResharder": "RL203",
     "BarrierBypassRouter": "RL204",
 }
 
-CLEAN_CLASSES = {"CleanCountingRouter", "CleanRetuneRouter"}
+CLEAN_CLASSES = {"CleanCountingRouter", "CleanRetuneRouter", "CleanMigrationRouter"}
 
 LIMIT = 256 * 1024
 VALUE = b"race-check-value"
@@ -225,12 +230,13 @@ def spread_keys(router: ShardRouter, count: int = 64) -> list[int]:
     return keys
 
 
-def make(cls, workers: int = 0) -> ShardRouter:
+def make(cls, workers: int = 0, partitioner: str = "hash") -> ShardRouter:
     return cls(
         base_system="ART-LSM",
         shards=4,
         memory_limit_bytes=LIMIT,
         workers=workers,
+        partitioner=partitioner,
         debug_checks=True,
     )
 
@@ -254,6 +260,35 @@ def test_rebalancing_router_trips_shared_readonly_guard(workers):
     router = make(RebalancingRouter, workers)
     with pytest.raises(OwnershipViolation, match="armed shard dispatch"):
         router.put_many(spread_keys(router), VALUE)
+
+
+def range_spread_keys(router: ShardRouter, per_shard: int = 8) -> list[int]:
+    """Keys hitting every shard of an ordered (range) partitioner."""
+    keys: list[int] = []
+    for sid in range(len(router.shards)):
+        lo, hi = router.partitioner.shard_range(sid)
+        step = max(1, (hi - lo) // (per_shard + 1))
+        keys.extend(lo + 1 + i * step for i in range(per_shard) if lo + 1 + i * step < hi)
+    sids = {router.partitioner.shard_of(k) for k in keys}
+    assert len(sids) >= 2
+    return keys
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_mid_dispatch_resharder_trips_shared_readonly_guard(workers):
+    router = make(MidDispatchResharder, workers, partitioner="weighted")
+    with pytest.raises(OwnershipViolation, match="armed shard dispatch"):
+        router.put_many(range_spread_keys(router), VALUE)
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_clean_migration_router_commits_on_the_foreground(workers):
+    router = make(CleanMigrationRouter, workers, partitioner="weighted")
+    keys = range_spread_keys(router)
+    lo, hi = router.partitioner.shard_range(0)
+    router.put_then_reshard(keys, VALUE, split=(lo + hi) // 2)
+    assert router.migration is not None  # descriptor published
+    assert router.get_many(keys) == [VALUE] * len(keys)
 
 
 def test_barrier_bypass_router_trips_unclaimed_mutation():

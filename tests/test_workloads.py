@@ -57,6 +57,20 @@ def test_zipfian_deterministic_by_seed():
     assert [a.next() for __ in range(50)] == [b.next() for __ in range(50)]
 
 
+def test_zipfian_golden_draws():
+    # Pinned draw sequences: the skewed-serving benchmark's before/after
+    # comparison and its committed results depend on these exact streams,
+    # so any change to the generator must show up here first.
+    hot = ZipfianGenerator(1000, theta=0.99, seed=42)
+    assert [hot.next() for __ in range(12)] == [
+        64, 0, 3, 2, 136, 86, 444, 0, 12, 0, 2, 23,
+    ]
+    mild = ZipfianGenerator(50, theta=0.5, seed=7)
+    assert [mild.next() for __ in range(12)] == [
+        7, 2, 22, 0, 16, 8, 0, 14, 0, 11, 0, 1,
+    ]
+
+
 def test_scrambled_zipfian_spreads_hot_keys():
     gen = ScrambledZipfianGenerator(10_000, theta=0.9, seed=7)
     draws = [gen.next() for __ in range(5000)]
