@@ -35,6 +35,7 @@ from repro.art.nodes import (
 )
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+from repro.sim.effects import charges
 
 #: Fixed Node4 footprint, hoisted for the split fast paths.
 _NODE4_BYTES = Node4().memory_bytes()
@@ -121,7 +122,11 @@ class AdaptiveRadixTree:
     # ------------------------------------------------------------------
     # cost charging
     # ------------------------------------------------------------------
+    @charges("cpu_charge?", "bg_charge?")
     def _charge(self, visits: int, extra_ns: float = 0.0) -> None:
+        # ``_charge_fn`` is bound once in __init__: foreground trees to
+        # charge_cpu, background (pre-clean scratch) trees to
+        # charge_background, clockless fixtures to None.
         charge = self._charge_fn
         if charge is not None:
             charge(visits * self._visit_cost + extra_ns)

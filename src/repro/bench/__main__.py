@@ -16,8 +16,11 @@ write; ``--sanitize`` composes, sweeping the cache sanitizers over the
 live caches during the run).
 
 Each experiment prints its reproduced table and writes structured JSON
-under ``results/``.  ``--sanitize`` enables the runtime invariant
-sanitizers (``repro.check``) on every system the experiments build; the
+under ``results/``.  ``--sanitize`` first runs the RL305 charge-audit
+preflight (:func:`repro.check.chargeaudit.charge_audit_preflight` — the
+runtime cross-check of the static RL3xx charge summaries), then enables
+the runtime invariant sanitizers (``repro.check``) on every system the
+experiments build; the
 checks charge no simulated time, but wall-clock time grows sharply and
 buffer-pool state shifts (see EXPERIMENTS.md), so it is a debugging
 mode, not a benchmarking mode.
@@ -98,6 +101,23 @@ def main(argv: list[str]) -> int:
 
         argv = [a for a in argv if a != "--sanitize"]
         set_sanitize(True)
+        # RL305 preflight: replay sampled verbs on the four core systems
+        # under counting clock/disk wrappers and hold every observed
+        # charge multiset to the static RL3xx summaries before spending
+        # any time on experiments.
+        from repro.check.chargeaudit import charge_audit_preflight
+
+        audit_violations = charge_audit_preflight()
+        if audit_violations:
+            for violation in audit_violations:
+                print(f"charge audit: {violation}", file=sys.stderr)
+            print(
+                f"charge audit: {len(audit_violations)} violation(s); the "
+                "static charge summaries and the runtime disagree (RL305)",
+                file=sys.stderr,
+            )
+            return 1
+        print("charge audit: static summaries hold on all core systems (RL305)")
     if "--cache-sweep" in argv:
         from repro.bench.cache_sweep import cache_sweep
 

@@ -59,11 +59,12 @@ _SCALES = {
     "fig3_random_e2e": (30_000, 6_000),
     "serve_sharded": (16_000, 3_000),
     "serve_skew": (60_000, 12_000),
+    "check_deep": (1, 1),  # n = full-tree analysis passes, not ops
 }
 
 #: per-benchmark caps on the repeat count (1 for the expensive
 #: end-to-end runs); the reported wall time is the median over repeats.
-_REPEATS = {"fig3_random_e2e": 1, "serve_sharded": 1, "serve_skew": 1}
+_REPEATS = {"fig3_random_e2e": 1, "serve_sharded": 1, "serve_skew": 1, "check_deep": 1}
 _DEFAULT_REPEATS = 3
 
 
@@ -275,6 +276,37 @@ def _bench_serve_sharded(n: int) -> tuple[int, float, dict]:
     return 2 * n, wall, extra
 
 
+def _bench_check_deep(n: int) -> tuple[int, float]:
+    """The full static-analysis stack (shallow + RL1xx/2xx/3xx) over src/repro.
+
+    Times what the CI lint-check gate pays: all four rule layers over
+    the shipped tree, ``n`` passes end to end.  Reported ops are files
+    analyzed, so per-op is the per-file cost of the whole stack.  A
+    non-empty finding list fails the run — the perf trend is only
+    meaningful over a clean tree.
+    """
+    from repro.check.chargecheck import charge_lint_paths
+    from repro.check.deepcheck import deep_lint_paths
+    from repro.check.racecheck import race_lint_paths
+    from repro.check.reprolint import lint_paths
+
+    src = Path(__file__).resolve().parents[1]
+    files = [p for p in sorted(src.rglob("*.py")) if "tests" not in p.parts]
+    findings: list = []
+    t0 = perf_counter()
+    for _ in range(n):
+        findings = [
+            *lint_paths([src]),
+            *deep_lint_paths([src]),
+            *race_lint_paths([src]),
+            *charge_lint_paths([src]),
+        ]
+    wall = perf_counter() - t0
+    if findings:
+        raise RuntimeError(f"deep lint found {len(findings)} finding(s) during perf run")
+    return n * len(files), wall
+
+
 _BENCHMARKS: dict[str, Callable[[int], tuple]] = {
     "art_random_insert": _bench_art_random_insert,
     "art_search": _bench_art_search,
@@ -287,6 +319,7 @@ _BENCHMARKS: dict[str, Callable[[int], tuple]] = {
     "fig3_random_e2e": _bench_fig3_random_e2e,
     "serve_sharded": _bench_serve_sharded,
     "serve_skew": _bench_serve_skew,
+    "check_deep": _bench_check_deep,
 }
 
 

@@ -20,6 +20,7 @@ from typing import Iterator, Optional
 from repro.btree.node import BInner, BLeaf, BNode
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+from repro.sim.effects import charges
 
 DEFAULT_NODE_CAPACITY = 64
 
@@ -63,7 +64,11 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # cost charging
     # ------------------------------------------------------------------
+    @charges("cpu_charge?", "bg_charge?")
     def _charge(self, visits: int, extra_ns: float = 0.0) -> None:
+        # Dual-mode by construction: an Index-X tree charges the foreground
+        # account, a background=True tree (pre-clean scratch) the background
+        # account; clockless trees (unit fixtures) charge nothing.
         if self._clock is None:
             return
         ns = visits * self._costs.btree_node_visit + extra_ns

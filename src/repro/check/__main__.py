@@ -3,11 +3,14 @@
 Runs the reprolint AST rules over the given files/directories (default:
 the installed ``repro`` package source) and exits non-zero when any
 finding survives the inline pragmas.  ``--deep`` adds the RL1xx
-CFG/dataflow/call-graph rules (see :mod:`repro.check.deepcheck`) and the
-RL2xx concurrency rules (see :mod:`repro.check.racecheck`);
-``--unused-pragmas`` audits ``allow[...]`` pragmas that no longer
-suppress anything; ``--format json|sarif`` emits machine-readable output
-for CI upload.
+CFG/dataflow/call-graph rules (see :mod:`repro.check.deepcheck`), the
+RL2xx concurrency rules (see :mod:`repro.check.racecheck`), and the
+RL3xx charge-effect rules (see :mod:`repro.check.chargecheck`);
+``--rules RL30x,RL101`` restricts the run to a rule subset (a trailing
+``x`` is a prefix wildcard); ``--unused-pragmas`` audits ``allow[...]``
+pragmas that no longer suppress anything; ``--list-rules`` prints the
+rule catalogue (``--format markdown`` emits the DESIGN.md table);
+``--format json|sarif`` emits machine-readable output for CI upload.
 """
 
 from __future__ import annotations
@@ -22,20 +25,25 @@ import time  # reprolint: allow[RL004]
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.check.chargecheck import CHARGE_RULES, charge_lint_paths
 from repro.check.deepcheck import DEEP_RULES, deep_lint_paths
 from repro.check.racecheck import RACE_RULES, race_lint_paths
-from repro.check.reprolint import RULES, Finding, iter_pragmas, lint_paths
+from repro.check.reprolint import RULES, Finding, Rule, iter_pragmas, lint_paths
 
 #: SARIF 2.1.0 is the smallest schema GitHub code scanning ingests.
 _SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
 
 #: rule family names keyed by id prefix, embedded in SARIF rule metadata
-#: so code-scanning UIs can group the three layers.
+#: so code-scanning UIs can group the four layers.
 _FAMILIES = (
+    ("RL3", "charge"),
     ("RL2", "concurrency"),
     ("RL1", "deep"),
     ("RL0", "shallow"),
 )
+
+#: every rule across the four layers, in catalogue order.
+ALL_RULES: tuple[Rule, ...] = (*RULES, *DEEP_RULES, *RACE_RULES, *CHARGE_RULES)
 
 
 def _default_target() -> Path:
@@ -48,6 +56,48 @@ def _family(rule_id: str) -> str:
         if rule_id.startswith(prefix):
             return family
     return "shallow"
+
+
+def _parse_rule_spec(spec: str) -> frozenset[str]:
+    """``"RL30x,RL101"`` -> the matching rule ids.
+
+    Each comma-separated part is an exact rule id or a prefix wildcard
+    written with trailing ``x`` characters (``RL30x``, ``RL3xx``).
+    Unknown parts are an error — a typo must not silently select nothing.
+    """
+    known = {rule.rule_id for rule in ALL_RULES}
+    selected: set[str] = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part in known:
+            selected.add(part)
+            continue
+        prefix = part.rstrip("xX")
+        matched = {rule_id for rule_id in known if rule_id.startswith(prefix)}
+        if part == prefix or not matched:
+            raise ValueError(
+                f"unknown rule {part!r}; see --list-rules for the catalogue"
+            )
+        selected.update(matched)
+    if not selected:
+        raise ValueError("empty --rules selection")
+    return frozenset(selected)
+
+
+def _rule_catalogue_markdown() -> str:
+    """The DESIGN.md rule table (kept generated, never hand-edited)."""
+    lines = [
+        "| Rule | Name | Layer | Scope | Contract |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for rule in ALL_RULES:
+        lines.append(
+            f"| {rule.rule_id} | `{rule.name}` | {_family(rule.rule_id)} "
+            f"| {rule.scope} | {rule.summary} |"
+        )
+    return "\n".join(lines)
 
 
 def _as_json(findings: list[Finding]) -> str:
@@ -70,11 +120,11 @@ def _as_sarif(findings: list[Finding]) -> str:
             "id": rule.rule_id,
             "name": rule.name,
             "shortDescription": {"text": rule.summary},
-            "fullDescription": {"text": rule.summary},
+            "fullDescription": {"text": f"{rule.summary} [scope: {rule.scope}]"},
             "defaultConfiguration": {"level": "error"},
             "properties": {"family": _family(rule.rule_id)},
         }
-        for rule in (*RULES, *DEEP_RULES, *RACE_RULES)
+        for rule in ALL_RULES
     ]
     results = [
         {
@@ -114,13 +164,14 @@ def _as_sarif(findings: list[Finding]) -> str:
 def _unused_pragmas(targets: list[Path]) -> list[str]:
     """Pragma lines whose ``allow[...]`` suppresses no raw finding.
 
-    Runs all three rule layers with suppression off, then reports every
+    Runs all four rule layers with suppression off, then reports every
     pragma line where none of the allowed rule ids (nor ``*`` matching
     anything) actually fires.
     """
     raw = lint_paths(targets, apply_pragmas=False)
     raw += deep_lint_paths(targets, apply_pragmas=False)
     raw += race_lint_paths(targets, apply_pragmas=False)
+    raw += charge_lint_paths(targets, apply_pragmas=False)
     fired: dict[tuple[str, int], set[str]] = {}
     for finding in raw:
         fired.setdefault((finding.path, finding.line), set()).add(finding.rule)
@@ -163,13 +214,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule catalogue and exit (--format markdown emits "
+        "the DESIGN.md table)",
     )
     parser.add_argument(
         "--deep",
         action="store_true",
-        help="also run the RL1xx CFG/dataflow/call-graph rules and the "
-        "RL2xx concurrency-safety rules",
+        help="also run the RL1xx CFG/dataflow/call-graph rules, the RL2xx "
+        "concurrency-safety rules, and the RL3xx charge-effect rules",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="SPEC",
+        help="run only these rules: comma-separated ids, trailing 'x' as a "
+        "prefix wildcard (e.g. RL30x,RL101); implies the layers it names",
     )
     parser.add_argument(
         "--unused-pragmas",
@@ -179,9 +238,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "sarif"),
+        choices=("text", "json", "sarif", "markdown"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; markdown applies to --list-rules)",
     )
     parser.add_argument(
         "--budget-seconds",
@@ -193,9 +252,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in (*RULES, *DEEP_RULES, *RACE_RULES):
-            print(f"{rule.rule_id}  {rule.name:<28} {rule.summary}")
+        if args.format == "markdown":
+            print(_rule_catalogue_markdown())
+        else:
+            for rule in ALL_RULES:
+                print(
+                    f"{rule.rule_id}  {rule.name:<28} {rule.summary}"
+                    f"  [{rule.scope}]"
+                )
         return 0
+    if args.format == "markdown":
+        print("error: --format markdown is only valid with --list-rules", file=sys.stderr)
+        return 2
+
+    selected: Optional[frozenset[str]] = None
+    if args.rules is not None:
+        try:
+            selected = _parse_rule_spec(args.rules)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     targets = [Path(p) for p in args.paths] if args.paths else [_default_target()]
     missing = [t for t in targets if not t.exists()]
@@ -212,10 +288,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"\n{len(stale)} stale pragma(s)", file=sys.stderr)
         return 1 if stale else 0
 
+    def wants(rules: tuple[Rule, ...]) -> bool:
+        """True when the selection touches this layer (default: all)."""
+        return selected is None or any(r.rule_id in selected for r in rules)
+
+    # An explicit --rules naming only deep-layer rules runs those layers
+    # without requiring --deep; a bare run stays shallow-only.
+    deep = args.deep or (
+        selected is not None
+        and any(not rule_id.startswith("RL0") for rule_id in selected)
+    )
+
     started = time.monotonic()
-    findings = lint_paths(targets)
-    if args.deep:
-        findings = findings + deep_lint_paths(targets) + race_lint_paths(targets)
+    findings: list[Finding] = []
+    if wants(RULES):
+        shallow = lint_paths(targets)
+        if selected is not None:
+            shallow = [f for f in shallow if f.rule in selected]
+        findings += shallow
+    if deep:
+        if wants(DEEP_RULES):
+            findings += deep_lint_paths(targets, rules=selected)
+        if wants(RACE_RULES):
+            findings += race_lint_paths(targets, rules=selected)
+        if wants(CHARGE_RULES):
+            findings += charge_lint_paths(targets, rules=selected)
     elapsed = time.monotonic() - started
 
     if args.format == "json":

@@ -20,11 +20,21 @@ maintenance routine inline?"):
   stay precise where it matters.
 * Plain class instantiation ``C(...)`` links to ``C.__init__``.
 
+``functools.partial`` is looked through: ``name = partial(obj.m, x)``
+binds ``name`` to ``m`` like a plain bound-method alias, and a
+``partial(self.m, ...)`` expression anywhere (e.g. passed to
+``scheduler.register``) records a may-call edge to ``m`` at the wrap
+site — the wrapped method stays reachable even though no direct call
+expression exists.
+
 What the graph does **not** model: calls through values stored in
-containers, ``getattr`` strings, and callables passed as arguments (a
-runner registered with the :class:`~repro.sim.runtime.BackgroundScheduler`
-is *not* an edge — which is exactly the property RL101 exploits: work
-routed through the scheduler seam disappears from the inline call graph).
+containers, ``getattr`` strings, and *bare* callables passed as
+arguments (a bound method handed to the
+:class:`~repro.sim.runtime.BackgroundScheduler` without a ``partial``
+wrapper is *not* an edge — which is exactly the property RL101
+exploits: work routed through the scheduler seam disappears from the
+inline call graph; RL101's owner table, not the graph, accounts for
+scheduler-run maintenance).
 """
 
 from __future__ import annotations
@@ -184,6 +194,15 @@ class _CallCollector(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         for callee in self._resolve(node):
             self.sites.append(CallSite(self.info.key, callee, node))
+        # ``partial(self.method, ...)`` wraps a call that some executor
+        # (BackgroundScheduler runner, ShardWorkerPool thunk) performs
+        # later; a may-call edge at the wrap site keeps that method
+        # reachable (RL101) even though no direct call expression exists.
+        wrapped = _partial_target(node)
+        if wrapped is not None:
+            ref = ast.Call(func=wrapped, args=[], keywords=[])
+            for callee in self._resolve(ref):
+                self.sites.append(CallSite(self.info.key, callee, node))
         self.generic_visit(node)
 
     def _resolve(self, node: ast.Call) -> list[str]:
@@ -231,20 +250,41 @@ class _CallCollector(ast.NodeVisitor):
         ]
 
 
+def _partial_target(node: ast.Call) -> ast.expr | None:
+    """The wrapped callable of ``partial(f, ...)``/``functools.partial(f, ...)``."""
+    func = node.func
+    name: str | None = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name != "partial" or not node.args:
+        return None
+    return node.args[0]
+
+
 def _bound_aliases(func: FunctionNode) -> dict[str, str]:
     """Local ``name = self.method`` / ``name = obj.method`` bindings.
 
-    A later bare call through the name resolves to the method.  The scan is
-    flow-insensitive (any binding in the function counts) — the def-use
-    layer exists for rules that need flow precision; the call graph only
-    needs may-call edges.
+    ``name = partial(obj.method, ...)`` binds the same way: calling the
+    name runs the wrapped method.  A later bare call through the name
+    resolves to the method.  The scan is flow-insensitive (any binding in
+    the function counts) — the def-use layer exists for rules that need
+    flow precision; the call graph only needs may-call edges.
     """
     out: dict[str, str] = {}
     for node in ast.walk(func):
         if isinstance(node, ast.Assign) and len(node.targets) == 1:
             target = node.targets[0]
-            if isinstance(target, ast.Name) and isinstance(node.value, ast.Attribute):
-                chain = _attr_chain(node.value)
+            if not isinstance(target, ast.Name):
+                continue
+            value: ast.expr = node.value
+            if isinstance(value, ast.Call):
+                wrapped = _partial_target(value)
+                if wrapped is not None:
+                    value = wrapped
+            if isinstance(value, ast.Attribute):
+                chain = _attr_chain(value)
                 if chain is not None and len(chain) >= 2:
                     out[target.id] = chain[-1]
     return out

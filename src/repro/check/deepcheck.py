@@ -71,21 +71,25 @@ DEEP_RULES: tuple[Rule, ...] = (
         "RL101",
         "transitive-inline-background",
         "no inline call chain from a foreground entry point to a maintenance routine",
+        scope="foreground entry points -> maintenance owners (call graph)",
     ),
     Rule(
         "RL102",
         "determinism-taint",
         "id()/hash()/set-order/env values must not reach clock charges, seeds, or results",
+        scope="src/repro (tests excluded)",
     ),
     Rule(
         "RL103",
         "paired-mutation",
         "accounting mutations execute their paired bookkeeping update on every path",
+        scope="paired accounting fields (curated table)",
     ),
     Rule(
         "RL104",
         "transitive-hot-alloc",
         "hot-path loops must not call unconditionally-allocating helpers",
+        scope="hot modules (art/ lsm/ sim/ diskbtree/)",
     ),
 )
 

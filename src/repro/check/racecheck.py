@@ -54,24 +54,28 @@ RACE_RULES: tuple[Rule, ...] = (
         "thread-escape",
         "state escaping into a dispatched thunk must be one shard's engine, "
         "immutable, shared-readonly, or fresh",
+        scope="shard/ dispatch sites",
     ),
     Rule(
         "RL202",
         "ownership-partition",
         "no two dispatched thunks may alias the same mutable root (distinct "
         "shard per thunk)",
+        scope="shard/ dispatch sites",
     ),
     Rule(
         "RL203",
         "shared-read-immutability",
         "@shared_readonly objects must not be written on any path reachable "
         "from a dispatched thunk",
+        scope="shard/ (reachable from dispatched thunks)",
     ),
     Rule(
         "RL204",
         "barrier-bypass",
         "no executor primitives outside ShardWorkerPool; pool.run is the only "
         "fork/join seam",
+        scope="shard/ (pool.py owns the barrier)",
     ),
 )
 

@@ -102,29 +102,65 @@ class Rule:
     rule_id: str
     name: str
     summary: str
+    #: where the rule applies — module prefixes, a construct, or a runtime
+    #: oracle; shown by ``--list-rules`` and the generated DESIGN.md table.
+    scope: str = "src/repro (tests excluded)"
 
 
 RULES: tuple[Rule, ...] = (
-    Rule("RL001", "raw-substrate", "construct SimClock/SimDisk/StatCounters only in repro/sim"),
-    Rule("RL002", "disk-bypass", "no SimDisk internals access outside repro/sim"),
-    Rule("RL003", "inline-background", "maintenance runs via the BackgroundScheduler"),
-    Rule("RL004", "wall-clock", "no time/datetime imports in simulated code"),
-    Rule("RL005", "unseeded-random", "all randomness comes from an explicitly seeded RNG"),
-    Rule("RL006", "mutable-default", "no mutable default argument values"),
+    Rule(
+        "RL001",
+        "raw-substrate",
+        "construct SimClock/SimDisk/StatCounters only in repro/sim",
+        scope="everywhere outside sim/",
+    ),
+    Rule(
+        "RL002",
+        "disk-bypass",
+        "no SimDisk internals access outside repro/sim",
+        scope="everywhere outside sim/",
+    ),
+    Rule(
+        "RL003",
+        "inline-background",
+        "maintenance runs via the BackgroundScheduler",
+        scope="maintenance entry points (curated owner table)",
+    ),
+    Rule(
+        "RL004",
+        "wall-clock",
+        "no time/datetime imports in simulated code",
+        scope="everywhere outside bench/ and check/",
+    ),
+    Rule(
+        "RL005",
+        "unseeded-random",
+        "all randomness comes from an explicitly seeded RNG",
+        scope="src/repro (tests excluded)",
+    ),
+    Rule(
+        "RL006",
+        "mutable-default",
+        "no mutable default argument values",
+        scope="src/repro (tests excluded)",
+    ),
     Rule(
         "RL007",
         "hot-path-overhead",
         "no function-local imports or in-loop attribute-chain calls in hot modules",
+        scope="hot modules (art/ lsm/ sim/ diskbtree/)",
     ),
     Rule(
         "RL008",
         "router-dispatch-shared-state",
         "no lock acquisition or shared-mutable-state writes in shard dispatch loops",
+        scope="shard/ dispatch loops",
     ),
     Rule(
         "RL009",
         "policy-determinism",
         "cache-policy modules: no time/random/os imports, no bare-set iteration",
+        scope="cache/ policy modules",
     ),
 )
 

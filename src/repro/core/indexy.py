@@ -33,6 +33,7 @@ from repro.core.membudget import MemoryBudget
 from repro.core.precleaner import PreCleaner
 from repro.core.release import ReleasePolicy
 from repro.sim.clock import SimClock
+from repro.sim.effects import charges
 from repro.sim.runtime import EngineRuntime, MaintenanceTask
 
 
@@ -294,6 +295,10 @@ class IndeXY:
             self.sanitizer.after_release(released)
         return released
 
+    # cpu_charge here is deliberate although release runs as maintenance:
+    # the subtree-lock stall is foreground time by definition (RL303's
+    # declared-effect exemption is exactly for this case).
+    @charges("cpu_charge*", "bg_charge*", "disk_read*", "disk_write*")
     def _timed_writeback(self, batch: list[tuple[bytes, bytes]]) -> float:
         """Write ``batch`` to Y and charge its disk time as a lock stall.
 

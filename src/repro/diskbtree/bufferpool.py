@@ -34,6 +34,7 @@ from repro.diskbtree.page import Page, copy_page, decode_page, encode_page
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.effects import charges
 from repro.sim.runtime import EngineRuntime
 from repro.sim.stats import StatCounters
 
@@ -141,6 +142,7 @@ class BufferPool:
     def is_resident(self, pid: int) -> bool:
         return pid in self._frames
 
+    @charges("cpu_charge*", "disk_read?", "disk_write*")
     def get_page(self, pid: int) -> Page:
         """Return the page, faulting it in from disk on a miss."""
         frame = self._frames.get(pid)
@@ -233,6 +235,7 @@ class BufferPool:
         self._evict_frame(victim)
         return True
 
+    @charges("cpu_charge?", "disk_write?")
     def _evict_frame(self, pid: int) -> None:
         frame = self._frames[pid]
         if frame.dirty:
@@ -241,6 +244,7 @@ class BufferPool:
         self._policy.on_remove(pid)
         self.stats.bump("evictions")
 
+    @charges("cpu_charge?", "disk_write?")
     def _write_back(self, pid: int, frame: _Frame) -> None:
         blob = encode_page(frame.page)
         if len(blob) > self.config.page_size:

@@ -19,6 +19,7 @@ from repro.diskbtree.page import InnerPage, LeafPage
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.effects import charges
 from repro.sim.stats import StatCounters
 
 import bisect
@@ -63,6 +64,7 @@ class DiskBPlusTree:
     # ------------------------------------------------------------------
     # cost charging
     # ------------------------------------------------------------------
+    @charges("cpu_charge?")
     def _charge_levels(self, levels: int, extra_ns: float = 0.0) -> None:
         if self.clock is not None:
             self.clock.charge_cpu(levels * self.costs.page_access + extra_ns)

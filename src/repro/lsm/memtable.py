@@ -15,6 +15,7 @@ from typing import Iterator, Optional
 
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
+from repro.sim.effects import charges
 
 _MAX_LEVEL = 16
 _NODE_OVERHEAD = 32  # pointers + lengths in the C layout
@@ -46,6 +47,7 @@ class MemTable:
         self.entry_count = 0
         self.size_bytes = 0
 
+    @charges("cpu_charge?")
     def _charge(self, hops: int) -> None:
         if self._clock is not None:
             self._clock.charge_cpu(hops * self._costs.skiplist_level)
@@ -57,6 +59,7 @@ class MemTable:
             level += 1
         return level
 
+    @charges("cpu_charge?")
     def put(self, key: bytes, value: bytes) -> None:
         update: list[_SkipNode] = [self._head] * _MAX_LEVEL
         node = self._head
@@ -85,6 +88,7 @@ class MemTable:
         self.size_bytes += _NODE_OVERHEAD + len(key) + len(value)
         self._charge(hops + level)
 
+    @charges("cpu_charge?")
     def get(self, key: bytes) -> Optional[bytes]:
         node = self._head
         hops = 0

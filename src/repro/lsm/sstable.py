@@ -19,6 +19,7 @@ from repro.lsm.cache import PolicyCache
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.effects import charges
 
 _KLEN_BYTES = 2
 _VLEN_BYTES = 4
@@ -87,6 +88,10 @@ class SSTable:
     # construction
     # ------------------------------------------------------------------
     @classmethod
+    # disk_write is '*' not '+': the writes sit in a per-block loop, and the
+    # nonempty-pairs guarantee that makes it >=1 at runtime is dynamic
+    # (DESIGN.md §12, known imprecision).
+    @charges("cpu_charge?", "bg_charge?", "disk_write*")
     def build(
         cls,
         table_id: int,
@@ -160,6 +165,7 @@ class SSTable:
         i = bisect_right(self._block_first_keys, key) - 1
         return max(i, 0)
 
+    @charges("disk_read?")
     def _load_block(
         self, index: int, block_cache: PolicyCache | None
     ) -> list[tuple[bytes, bytes]]:
@@ -174,6 +180,7 @@ class SSTable:
             block_cache.put(cache_key, entries, len(blob))
         return entries
 
+    @charges("cpu_charge*", "disk_read?")
     def get(
         self,
         key: bytes,

@@ -29,6 +29,7 @@ from repro.lsm.sstable import SSTable
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.effects import charges
 from repro.sim.runtime import EngineRuntime
 from repro.sim.stats import StatCounters
 
@@ -232,6 +233,9 @@ class LSMStore:
     def _is_bottom(self, level: int) -> bool:
         return all(not self.levels[lv] for lv in range(level + 1, self.config.max_levels))
 
+    # Merging is compaction work: its comparison/copy CPU lands on the
+    # background account even when the compaction pass runs inline.
+    @charges("bg_charge?", "disk_read*")
     def _merge_tables(
         self, newer: list[SSTable], older: list[SSTable], drop_tombstones: bool
     ) -> list[tuple[bytes, bytes]]:

@@ -56,6 +56,7 @@ from repro.shard.partition import (
 from repro.shard.pool import ShardWorkerPool
 from repro.shard.rebalance import RangeMigration, RebalanceConfig, Rebalancer
 from repro.sim.costs import CostModel
+from repro.sim.effects import charges
 from repro.sim.threads import ThreadModel
 from repro.systems.base import KVSystem, Snapshot
 
@@ -192,6 +193,10 @@ class ShardRouter(KVSystem):
         self.shards[sid].insert(key, value)
         self._after_single(sid, key)
 
+    # cpu_charge '+' covers the deliberate double read during a live
+    # migration: a dst-shard miss inside the migrating range retries on
+    # the src shard, charging a second full read (DESIGN.md §11).
+    @charges("cpu_charge+", "bg_charge*", "disk_read*", "disk_write*")
     def read(self, key: int) -> Optional[bytes]:
         sid = self.partitioner.shard_of(key)
         value = self.shards[sid].read(key)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sim.effects import charges
 from repro.sim.stats import StatCounters
 
 
@@ -61,6 +62,7 @@ class SimDisk:
     # ------------------------------------------------------------------
     # space management
     # ------------------------------------------------------------------
+    @charges()
     def allocate(self, nbytes: int) -> int:
         """Reserve an extent of at least ``nbytes`` and return its offset."""
         if nbytes <= 0:
@@ -72,6 +74,7 @@ class SimDisk:
         self.stats.bump("bytes_allocated", span)
         return offset
 
+    @charges()
     def free(self, offset: int) -> None:
         """Release the blob at ``offset`` (space accounting only)."""
         blob = self._blobs.pop(offset, None)

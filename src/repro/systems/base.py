@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 
 from repro.art.keys import encode_int
 from repro.sim.costs import CostModel
+from repro.sim.effects import charges
 from repro.sim.runtime import EngineRuntime
 from repro.sim.threads import ThreadModel
 
@@ -131,6 +132,7 @@ class KVSystem:
     def memory_bytes(self) -> int:
         raise NotImplementedError
 
+    @charges("cpu_charge")
     def _op(self) -> None:
         """Per-operation fixed overhead + op count."""
         self.clock.charge_cpu(self.costs.op_overhead)

@@ -171,6 +171,69 @@ def test_callable_passed_as_argument_is_not_an_edge():
     assert "m.py::C._pass" not in edge_keys(graph, "m.py::C.setup")
 
 
+def test_partial_wrapped_registration_is_an_edge():
+    # partial(self.m, ...) handed to scheduler.register keeps m reachable:
+    # the wrap site records a may-call edge even though no direct call
+    # expression exists (the RL101 tightening of satellite work).
+    graph = graph_of(
+        **{
+            "m.py": """
+            from functools import partial
+
+            class C:
+                def _compact(self, level):
+                    pass
+
+                def setup(self, scheduler):
+                    scheduler.register("compact", partial(self._compact, 0))
+            """
+        }
+    )
+    assert "m.py::C._compact" in edge_keys(graph, "m.py::C.setup")
+
+
+def test_partial_bound_alias_resolves_on_call():
+    graph = graph_of(
+        **{
+            "m.py": """
+            from functools import partial
+
+            class C:
+                def _evict_frame(self, pid):
+                    pass
+
+                def sweep(self):
+                    evict = partial(self._evict_frame, 1)
+                    evict()
+            """
+        }
+    )
+    assert "m.py::C._evict_frame" in edge_keys(graph, "m.py::C.sweep")
+
+
+def test_partial_over_subscript_receiver_stays_unresolved():
+    # The shard pool seam: partial(self.shards[sid].put_many, ...) has a
+    # subscript receiver, so the wrapped callable cannot be chained — no
+    # edge, matching the pool's deliberate opacity.
+    graph = graph_of(
+        **{
+            "m.py": """
+            from functools import partial
+
+            class Shard:
+                def put_many(self, kvs):
+                    pass
+
+            class Router:
+                def put_many(self, kvs):
+                    thunk = partial(self.shards[0].put_many, kvs)
+                    return thunk
+            """
+        }
+    )
+    assert edge_keys(graph, "m.py::Router.put_many") == set()
+
+
 def test_reachable_from_is_transitive():
     graph = graph_of(
         **{

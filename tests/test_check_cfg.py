@@ -366,6 +366,61 @@ def test_element_defs_handles_unpacking():
     assert names == ["a", "b", "c"]
 
 
+def test_finally_definition_reaches_code_after_try():
+    cfg = cfg_of(
+        """
+        def f(a):
+            try:
+                a()
+            finally:
+                x = 2
+            return x
+        """
+    )
+    use = next(u for u in def_use_chains(cfg) if u.name.id == "x")
+    (definition,) = use.defs
+    assert definition.value.value == 2
+
+
+def test_try_body_definition_reaches_use_in_finally():
+    # Handler-less try/finally is modelled as straight-line flow: the
+    # finally body sits on the fall-through path, so the try-body def
+    # kills the init.  (No exception edge exists without a handler — the
+    # known model limit; with a handler the next test shows the join.)
+    cfg = cfg_of(
+        """
+        def f(a):
+            x = 1
+            try:
+                x = a()
+            finally:
+                y = x
+            return y
+        """
+    )
+    use = next(u for u in def_use_chains(cfg) if u.name.id == "x")
+    (definition,) = use.defs
+    assert isinstance(definition.value, ast.Call)
+
+
+def test_finally_use_joins_body_and_handler_definitions():
+    cfg = cfg_of(
+        """
+        def f(a):
+            try:
+                x = a()
+            except ValueError:
+                x = None
+            finally:
+                y = x
+            return y
+        """
+    )
+    use = next(u for u in def_use_chains(cfg) if u.name.id == "x")
+    kinds = {type(d.value).__name__ for d in use.defs}
+    assert kinds == {"Call", "Constant"}
+
+
 def test_reaching_at_mid_block():
     cfg = cfg_of(
         """

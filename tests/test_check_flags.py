@@ -1,0 +1,43 @@
+"""Tests for the process-wide sanitizer default (``check/flags.py``).
+
+Tiny module, but the bench harness's ``--sanitize`` path and every
+factory-built system depend on its semantics: a mutable process default
+that explicit ``debug_checks`` arguments always override.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.flags import sanitize_enabled, set_sanitize
+
+
+@pytest.fixture(autouse=True)
+def restore_default():
+    before = sanitize_enabled()
+    yield
+    set_sanitize(before)
+
+
+def test_default_is_off():
+    assert sanitize_enabled() is False
+
+
+def test_set_and_clear_round_trip():
+    set_sanitize(True)
+    assert sanitize_enabled() is True
+    set_sanitize(False)
+    assert sanitize_enabled() is False
+
+
+def test_factory_inherits_the_default_and_explicit_arg_wins():
+    from repro.systems.factory import build_system
+
+    set_sanitize(True)
+    inherited = build_system("ART-LSM", memory_limit_bytes=64 * 1024)
+    overridden = build_system(
+        "ART-LSM", memory_limit_bytes=64 * 1024, debug_checks=False
+    )
+    # debug_checks materializes as the IndeXY sanitizer being armed.
+    assert inherited.index.sanitizer is not None
+    assert overridden.index.sanitizer is None
