@@ -59,12 +59,19 @@ _SCALES = {
     "fig3_random_e2e": (30_000, 6_000),
     "serve_sharded": (16_000, 3_000),
     "serve_skew": (60_000, 12_000),
+    "serve_skew_budget": (30_000, 8_000),
     "check_deep": (1, 1),  # n = full-tree analysis passes, not ops
 }
 
 #: per-benchmark caps on the repeat count (1 for the expensive
 #: end-to-end runs); the reported wall time is the median over repeats.
-_REPEATS = {"fig3_random_e2e": 1, "serve_sharded": 1, "serve_skew": 1, "check_deep": 1}
+_REPEATS = {
+    "fig3_random_e2e": 1,
+    "serve_sharded": 1,
+    "serve_skew": 1,
+    "serve_skew_budget": 1,
+    "check_deep": 1,
+}
 _DEFAULT_REPEATS = 3
 
 
@@ -252,6 +259,68 @@ def _bench_serve_skew(n: int) -> tuple[int, float, dict]:
     return 2 * n, wall, extra
 
 
+def _bench_serve_skew_budget(n: int) -> tuple[int, float, dict]:
+    """Three-way elastic-memory comparison at 4 shards, same total memory.
+
+    fixed-equal (boundary diffusion only, budgets pinned equal) vs
+    heat-proportional (the BudgetRebalancer re-splits the global limit
+    by shard heat) vs heat + split/merge (structural fleet elasticity on
+    top: the planner splits the hot shard when its decayed busy time
+    clears ``split_load``).  The ``serve_skew_budget`` extra records the
+    simulated latency percentiles, fleet counters, and p99 ratios vs the
+    fixed-equal baseline (see DESIGN.md §11.4 and EXPERIMENTS.md).
+    """
+    from repro.bench.serve import run_serve_skew
+
+    keys = max(2_000, n // 6)
+    diffusion = "threshold:2.2+cooldown:8"
+    structural = diffusion + "+max_shards:6+split_load:500000+merge_load:20000"
+    per: dict[str, dict] = {}
+    t0 = perf_counter()
+    for label, spec, budget in (
+        ("fixed_equal", diffusion, None),
+        ("heat_budget", diffusion, "on"),
+        ("heat_fleet", structural, "on"),
+    ):
+        r = run_serve_skew(
+            system="ART-LSM",
+            shards=4,
+            ops=n,
+            keys=keys,
+            seed=7,
+            rebalance=spec,
+            budget=budget,
+        )
+        per[label] = {
+            k: r[k]
+            for k in (
+                "p50_us",
+                "p95_us",
+                "p99_us",
+                "migrations",
+                "keys_moved",
+                "budget_resplits",
+                "splits",
+                "merges",
+                "final_shards",
+            )
+        }
+    wall = perf_counter() - t0
+    base = per["fixed_equal"]["p99_us"]
+    extra = {
+        "serve_skew_budget": {
+            **per,
+            "p99_budget_improvement": round(
+                base / per["heat_budget"]["p99_us"] if per["heat_budget"]["p99_us"] else 0.0, 2
+            ),
+            "p99_fleet_improvement": round(
+                base / per["heat_fleet"]["p99_us"] if per["heat_fleet"]["p99_us"] else 0.0, 2
+            ),
+        }
+    }
+    return 3 * n, wall, extra
+
+
 def _bench_serve_sharded(n: int) -> tuple[int, float, dict]:
     """Closed-loop concurrent serving at 1 and 4 shards (see repro.bench.serve).
 
@@ -319,6 +388,7 @@ _BENCHMARKS: dict[str, Callable[[int], tuple]] = {
     "fig3_random_e2e": _bench_fig3_random_e2e,
     "serve_sharded": _bench_serve_sharded,
     "serve_skew": _bench_serve_skew,
+    "serve_skew_budget": _bench_serve_skew_budget,
     "check_deep": _bench_check_deep,
 }
 

@@ -60,6 +60,7 @@ from dataclasses import replace
 from time import perf_counter  # reprolint: allow[RL004]
 from typing import Any
 
+from repro.shard.budget import BudgetConfig
 from repro.shard.rebalance import RebalanceConfig
 
 __all__ = ["run_serve", "run_serve_skew", "main"]
@@ -196,6 +197,70 @@ def run_serve(
     }
 
 
+def _force_split(
+    router: Any,
+    engines: list[Any],
+    models: list[Any],
+    free_at: list[float],
+    shard_ops: list[int],
+) -> float | None:
+    """Force one split of the busiest shard, if the fleet is quiescent.
+
+    Returns the simulated resize cost charged to the split shard (its
+    half-budget shrink may trigger an immediate release cycle), or
+    ``None`` when the split cannot run yet — a migration or merge is in
+    flight, or the busiest shard's range/budget is too small — and the
+    caller retries on the next op.  The busy-horizon charge lands at the
+    pre-event index, which is still valid: the fleet-event realignment
+    runs after this returns.
+    """
+    if router.migration is not None or router.retiring is not None:
+        return None
+    hot = max(range(len(engines)), key=shard_ops.__getitem__)
+    lo, hi = router.partitioner.shard_range(hot)
+    if hi - lo < 2 or router.shard_budgets[hot] < 2 * router.budget_floor:
+        return None
+    split = router.heat.split_key(hot, 0.5) if router.heat is not None else None
+    if split is None:
+        split = (lo + hi) // 2
+    split = min(max(split, lo + 1), hi - 1)
+    before = engines[hot].snapshot()
+    router.begin_split(hot, split)
+    extra = before.delta(engines[hot].snapshot()).elapsed_ns(1, models[hot])
+    free_at[hot] += extra
+    return extra
+
+
+def _force_merge(
+    router: Any,
+    engines: list[Any],
+    models: list[Any],
+    free_at: list[float],
+    shard_ops: list[int],
+) -> float | None:
+    """Force one merge of the coldest adjacent pair, if quiescent.
+
+    Engine and model *objects* are captured before ``begin_merge``: a
+    one-key-wide retiring shard finishes its merge inline, popping the
+    retired engine from the fleet list before this returns.  Returns the
+    simulated cost charged to the pair, or ``None`` to retry later.
+    """
+    if router.migration is not None or router.retiring is not None:
+        return None
+    if len(engines) < 2:
+        return None
+    cold = min(range(len(shard_ops) - 1), key=lambda s: shard_ops[s] + shard_ops[s + 1])
+    sid = cold + 1
+    src_engine, dst_engine = engines[sid], engines[sid - 1]
+    src_model, dst_model = models[sid], models[sid - 1]
+    src_before, dst_before = src_engine.snapshot(), dst_engine.snapshot()
+    router.begin_merge(sid)
+    extra = src_before.delta(src_engine.snapshot()).elapsed_ns(1, src_model)
+    extra += dst_before.delta(dst_engine.snapshot()).elapsed_ns(1, dst_model)
+    free_at[sid - 1] += extra
+    return extra
+
+
 def run_serve_skew(
     system: str = "ART-LSM",
     shards: int = 4,
@@ -210,6 +275,9 @@ def run_serve_skew(
     memory_bytes: int | None = None,
     warmup_fraction: float = 0.25,
     smoke: bool = False,
+    budget: str | None = None,
+    force_cycle: bool = False,
+    windows: int = 8,
 ) -> dict[str, Any]:
     """One open-loop run of the hot-range scenario; returns metrics.
 
@@ -248,6 +316,26 @@ def run_serve_skew(
     ``smoke`` keeps a reference dict model of every write and, after
     draining any still-active migration, verifies ``get_many`` against
     the model and ``scan`` against a never-rebalanced replay router.
+
+    ``budget`` is a :meth:`BudgetConfig.from_spec` spec enabling the
+    heat-proportional budget layer (DESIGN.md §11.4).  Like draining,
+    the re-split task is driven by the harness rather than the op-paced
+    scheduler, every ``interval`` ops, with the resize work (release
+    cycles, cache evictions a grow/shrink triggers) charged to the
+    involved engines' busy horizons so a cheaper p99 cannot come from
+    uncharged maintenance.
+
+    ``force_cycle`` forces one shard *split* once a third of the ops
+    have been served and one *merge* at two thirds (each waits for the
+    fleet to be migration-free) — the deterministic way to exercise the
+    fleet-elasticity machinery end to end under the smoke checks;
+    requires ``rebalance`` (the drain path belongs to the rebalancer).
+    Organic splits/merges are configured through the rebalance spec
+    instead (``max_shards``/``split_load``/``merge_load``).
+
+    Every run reports ``windows`` evenly spaced samples of per-shard
+    budget bytes and cache hit rates (hits over hits+misses since the
+    previous window), the observable a budget move actually shifts.
     """
     from repro.systems.factory import build_system
     from repro.workloads import ZipfianGenerator, random_insert_keys
@@ -268,6 +356,17 @@ def run_serve_skew(
     config = RebalanceConfig.coerce(rebalance)
     if config is not None:
         config = replace(config, drain_interval_ops=1 << 30)
+    if force_cycle and config is None:
+        raise ValueError("force_cycle needs rebalancing on (the drain machinery)")
+    # The budget task gets the same treatment as draining: its scheduler
+    # pacing is pushed out and the harness drives it at the configured
+    # interval with explicit busy-horizon accounting.
+    budget_config = BudgetConfig.coerce(budget)
+    if budget_config is not None:
+        budget_interval = budget_config.interval_ops
+        budget_config = replace(budget_config, interval_ops=1 << 30)
+    else:
+        budget_interval = 0
 
     router = build_system(
         "Sharded",
@@ -276,6 +375,7 @@ def run_serve_skew(
         shards=shards,
         partitioner="weighted",
         rebalance=config,
+        budget=budget_config,
     )
 
     wall0 = perf_counter()
@@ -285,10 +385,21 @@ def run_serve_skew(
     router.flush()
     preload_wall_s = perf_counter() - wall0
 
+    # ``engines`` is a live alias of the router's shard list: splits and
+    # merges mutate that list in place, so the alias tracks the fleet.
+    # The positional companions (models, free_at, shard_ops, hit_base)
+    # are realigned from ``router.fleet_events`` after every op.
     engines = router.shards
     models = [shard.thread_model for shard in engines]
     partitioner = router.partitioner
     rebalancer = router.rebalancer
+    budgeter = router.budgeter
+    # Structural planning (organic splits/merges) resizes engines from
+    # inside the scheduler-paced planning task; only then is the extra
+    # per-op bookkeeping needed to keep the busy horizons honest.
+    structural = config is not None and (
+        config.split_load > 0.0 or config.merge_load > 0.0
+    )
 
     rng = random.Random(seed * 1000 + 1)
     zipf = ZipfianGenerator(keys, theta=theta, seed=seed * 1000 + 2)
@@ -299,11 +410,43 @@ def run_serve_skew(
     latencies_ns: list[float] = []
     makespan_ns = 0.0
     migration_busy_ns = 0.0
+    budget_busy_ns = 0.0
+    reshard_busy_ns = 0.0
     model: dict[int, bytes] = dict.fromkeys(key_list, value)
+    window_ops = max(1, ops // max(1, windows))
+    window_rows: list[dict[str, Any]] = []
+    hit_base = [engine.cache_hit_stats() for engine in engines]
+    split_done = not force_cycle
+    merge_done = not force_cycle
+
+    def realign_fleet() -> None:
+        """Fold a just-occurred split/merge into the positional state.
+
+        Called immediately after every step that can mutate the fleet
+        (drain, forced cycle, maintenance tick), so the positional
+        companions never go stale between steps of the same op.
+        """
+        nonlocal hit_base
+        if not router.fleet_events:
+            return
+        for kind, fsid in router.fleet_events:
+            if kind == "split":
+                # The new shard is born idle: it can serve (and drain)
+                # from the current arrival onward.
+                free_at.insert(fsid + 1, ready_ns)
+                shard_ops.insert(fsid + 1, 0)
+                models.insert(fsid + 1, engines[fsid + 1].thread_model)
+            else:
+                free_at[fsid - 1] = max(free_at[fsid - 1], free_at.pop(fsid))
+                shard_ops[fsid - 1] += shard_ops.pop(fsid)
+                models.pop(fsid)
+        router.fleet_events.clear()
+        # Per-window hit-rate deltas restart: positions changed identity.
+        hit_base = [engine.cache_hit_stats() for engine in engines]
 
     wall0 = perf_counter()
     ready_ns = 0.0
-    for _ in range(ops):
+    for i in range(ops):
         ready_ns += arrivals.expovariate(1.0) * mean_gap_ns
         if rng.random() < get_fraction:
             key = sorted_keys[zipf.next()]
@@ -360,16 +503,84 @@ def run_serve_skew(
             and free_at[active.src] <= finish_ns
             and free_at[active.dst] <= finish_ns
         ):
+            # Engine *objects* are captured, not indices: a drain chunk
+            # that completes a merge pops the retired engine, shifting
+            # every index after it.
             asrc, adst = active.src, active.dst
-            src_before = engines[asrc].snapshot()
-            dst_before = engines[adst].snapshot()
+            src_engine, dst_engine = engines[asrc], engines[adst]
+            src_model, dst_model = models[asrc], models[adst]
+            src_before = src_engine.snapshot()
+            dst_before = dst_engine.snapshot()
             rebalancer.drain_tick()
-            src_ns = src_before.delta(engines[asrc].snapshot()).elapsed_ns(1, models[asrc])
-            dst_ns = dst_before.delta(engines[adst].snapshot()).elapsed_ns(1, models[adst])
+            src_ns = src_before.delta(src_engine.snapshot()).elapsed_ns(1, src_model)
+            dst_ns = dst_before.delta(dst_engine.snapshot()).elapsed_ns(1, dst_model)
             free_at[asrc] += src_ns
             free_at[adst] += dst_ns
             migration_busy_ns += src_ns + dst_ns
-        router.maintenance_tick(1)
+            realign_fleet()
+
+        # Forced fleet cycle: one split at a third of the run, one merge
+        # at two thirds, each deferred until the fleet is quiescent (no
+        # migration in flight, no merge mid-drain).
+        if not split_done and i + 1 >= ops // 3:
+            forced = _force_split(router, engines, models, free_at, shard_ops)
+            if forced is not None:
+                reshard_busy_ns += forced
+                split_done = True
+                realign_fleet()
+        elif split_done and not merge_done and i + 1 >= 2 * ops // 3:
+            forced = _force_merge(router, engines, models, free_at, shard_ops)
+            if forced is not None:
+                reshard_busy_ns += forced
+                merge_done = True
+                realign_fleet()
+
+        # The paced budget task, harness-driven like draining: resize
+        # work (release cycles, evictions) lands on the engines' clocks
+        # and must extend their busy horizons too.
+        if budget_interval and budgeter is not None and (i + 1) % budget_interval == 0:
+            befores_all = [engine.snapshot() for engine in engines]
+            budgeter.run_once()
+            for s, (engine, before) in enumerate(zip(engines, befores_all)):
+                extra = before.delta(engine.snapshot()).elapsed_ns(1, models[s])
+                if extra > 0.0:
+                    free_at[s] += extra
+                    budget_busy_ns += extra
+
+        if structural:
+            # Organic splits/merges fire inside the paced planning task;
+            # snapshot around the tick so their resize work (an immediate
+            # release cycle on the halved shard) is charged to the
+            # pre-event shard positions.
+            pre_engines = list(engines)
+            pre_models = list(models)
+            pre_snaps = [engine.snapshot() for engine in pre_engines]
+            router.maintenance_tick(1)
+            if router.fleet_events:
+                for s, (engine, before) in enumerate(zip(pre_engines, pre_snaps)):
+                    extra = before.delta(engine.snapshot()).elapsed_ns(1, pre_models[s])
+                    if extra > 0.0:
+                        free_at[s] += extra
+                        reshard_busy_ns += extra
+                realign_fleet()
+        else:
+            router.maintenance_tick(1)
+
+        if (i + 1) % window_ops == 0:
+            hit_now = [engine.cache_hit_stats() for engine in engines]
+            rates: list[float | None] = []
+            for (h0, m0), (h1, m1) in zip(hit_base, hit_now):
+                lookups = (h1 - h0) + (m1 - m0)
+                rates.append(round((h1 - h0) / lookups, 4) if lookups > 0 else None)
+            window_rows.append(
+                {
+                    "op": i + 1,
+                    "shards": len(engines),
+                    "budget_bytes": list(router.shard_budgets),
+                    "cache_hit_rate": rates,
+                }
+            )
+            hit_base = hit_now
     serve_wall_s = perf_counter() - wall0
 
     migrations = rebalancer.migrations_started if rebalancer is not None else 0
@@ -416,6 +627,8 @@ def run_serve_skew(
         "theta": theta,
         "memory_bytes": memory_bytes,
         "rebalance": rebalance if rebalance is not None else "off",
+        "budget": budget if budget is not None else "off",
+        "force_cycle": force_cycle,
         "throughput_kops": round(ops / makespan_s / 1e3, 3),
         "p50_us": round(_percentile(measured, 0.50) / 1e3, 3),
         "p95_us": round(_percentile(measured, 0.95) / 1e3, 3),
@@ -426,6 +639,16 @@ def run_serve_skew(
         "migrations": migrations,
         "keys_moved": keys_moved,
         "migration_busy_ms": round(migration_busy_ns / 1e6, 3),
+        # Forced splits/merges bypass the rebalancer's planner, so the
+        # authoritative counters are the router's own fleet-event stats.
+        "splits": int(router.runtime.stats["fleet_splits"]),
+        "merges": int(router.runtime.stats["fleet_merges"]),
+        "budget_resplits": int(router.runtime.stats["budget_resplits"]),
+        "budget_busy_ms": round(budget_busy_ns / 1e6, 3),
+        "reshard_busy_ms": round(reshard_busy_ns / 1e6, 3),
+        "final_shards": len(engines),
+        "per_shard_budget_bytes": list(router.shard_budgets),
+        "windows": window_rows,
         "preload_wall_s": round(preload_wall_s, 3),
         "serve_wall_s": round(serve_wall_s, 3),
     }
@@ -450,11 +673,13 @@ def _main_skew(args: argparse.Namespace, shard_counts: list[int]) -> int:
             f"repro.bench.serve --skew: {args.system}, open loop at "
             f"{args.rate:g} kops/sim-s, {args.ops} ops, zipf(theta={theta}) "
             f"over sorted keys, {args.get_fraction:.0%} gets, "
-            f"rebalance spec {args.rebalance!r}"
+            f"rebalance spec {args.rebalance!r}, budget spec {args.budget!r}"
+            + (", forced split+merge cycle" if args.force_cycle else "")
         )
         print(
-            f"  {'shards':>6} {'rebalance':>10} {'p50_us':>9} {'p95_us':>9}"
-            f" {'p99_us':>9} {'kops/sim-s':>12} {'migr':>5} {'moved':>7}"
+            f"  {'shards':>6} {'rebalance':>10} {'budget':>7} {'p50_us':>9}"
+            f" {'p95_us':>9} {'p99_us':>9} {'kops/sim-s':>12} {'migr':>5}"
+            f" {'moved':>7} {'spl':>4} {'mrg':>4}"
         )
     failures: list[str] = []
     for shards in shard_counts:
@@ -474,16 +699,22 @@ def _main_skew(args: argparse.Namespace, shard_counts: list[int]) -> int:
                 memory_bytes=args.memory_bytes,
                 warmup_fraction=args.warmup_fraction,
                 smoke=args.smoke,
+                # The baseline side stays bare: the comparison isolates
+                # what the elastic layers (boundaries, budgets, fleet
+                # size) add over a fixed-everything router.
+                budget=args.budget if spec is not None else None,
+                force_cycle=args.force_cycle and spec is not None,
             )
             pair.append(r)
             if args.json:
                 print(json.dumps(r))
             else:
                 print(
-                    f"  {r['shards']:>6} {r['rebalance'][:10]:>10} {r['p50_us']:>9.1f}"
+                    f"  {r['shards']:>6} {r['rebalance'][:10]:>10}"
+                    f" {r['budget'][:7]:>7} {r['p50_us']:>9.1f}"
                     f" {r['p95_us']:>9.1f} {r['p99_us']:>9.1f}"
                     f" {r['throughput_kops']:>12.1f} {r['migrations']:>5}"
-                    f" {r['keys_moved']:>7}"
+                    f" {r['keys_moved']:>7} {r['splits']:>4} {r['merges']:>4}"
                 )
         before, after = pair
         if not args.json and after["p99_us"] > 0:
@@ -499,6 +730,11 @@ def _main_skew(args: argparse.Namespace, shard_counts: list[int]) -> int:
                 )
             if before.get("smoke_ok") is False:
                 failures.append(f"{shards} shards: baseline run diverged")
+            if args.force_cycle:
+                if after["splits"] < 1:
+                    failures.append(f"{shards} shards: forced split never ran")
+                if after["merges"] < 1:
+                    failures.append(f"{shards} shards: forced merge never ran")
     if failures:
         for failure in failures:
             print(f"SMOKE FAIL: {failure}", file=sys.stderr)
@@ -547,6 +783,22 @@ def main(argv: list[str] | None = None) -> int:
         "--rebalance",
         default="threshold:2.2+cooldown:8",
         help="rebalance spec for the --skew 'after' run (RebalanceConfig.from_spec)",
+    )
+    parser.add_argument(
+        "--budget",
+        default=None,
+        help=(
+            "with --skew: heat-proportional budget spec for the 'after' run "
+            "(BudgetConfig.from_spec, e.g. 'on' or 'interval:256+floor:0.1')"
+        ),
+    )
+    parser.add_argument(
+        "--force-cycle",
+        action="store_true",
+        help=(
+            "with --skew: force one shard split at ops/3 and one merge at "
+            "2*ops/3 in the 'after' run (with --smoke, both must complete)"
+        ),
     )
     parser.add_argument(
         "--rate",

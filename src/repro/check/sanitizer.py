@@ -1048,6 +1048,7 @@ def check_shard_router(router: "ShardRouter") -> list[Violation]:
             previous = max(previous, sid)
     _check_weighted_boundaries(out, partitioner)
     _check_migration(out, router)
+    _check_budgets(out, router)
     return out.violations
 
 
@@ -1131,6 +1132,60 @@ def _check_migration(out: "_Collector", router: "ShardRouter") -> None:
                 f"migration destination {migration.dst}; the routing table "
                 "swap and the descriptor are out of sync",
             )
+
+
+def _check_budgets(out: "_Collector", router: "ShardRouter") -> None:
+    """Budget-pool and fleet-change invariants (DESIGN.md §11.4).
+
+    The budget rebalancer and shard splits/merges all re-partition one
+    conserved pool, so the per-shard ledger must cover exactly the
+    fleet, sum to the pool total (budget moves, it is never created or
+    destroyed), and never dip below one byte.  A pending merge retire
+    must also agree with the in-flight drain descriptor — a drain whose
+    source is not the retiring shard would fold the wrong engine.
+    """
+    budgets = getattr(router, "shard_budgets", None)
+    if budgets is None:
+        return
+    n = len(router.shards)
+    if len(budgets) != n:
+        out.add(
+            "shard-budget",
+            f"budget ledger covers {len(budgets)} shards, fleet holds {n}",
+        )
+        return
+    if any(b < 1 for b in budgets):
+        out.add(
+            "shard-budget",
+            f"a shard's budget fell below one byte: {list(budgets)}",
+        )
+    total = getattr(router, "total_memory_limit", None)
+    if total is not None and sum(budgets) != total:
+        out.add(
+            "shard-budget",
+            f"shard budgets sum to {sum(budgets)} but the pool holds "
+            f"{total}; re-splits must conserve the total",
+        )
+    retiring = getattr(router, "retiring", None)
+    if retiring is None:
+        return
+    if not 0 < retiring < n:
+        out.add(
+            "shard-merge",
+            f"retiring shard {retiring} has no left neighbour in a "
+            f"fleet of {n}",
+        )
+        return
+    migration = getattr(router, "migration", None)
+    if migration is not None and (
+        migration.src != retiring or migration.dst != retiring - 1
+    ):
+        out.add(
+            "shard-merge",
+            f"retire of shard {retiring} disagrees with the drain "
+            f"descriptor {migration.src}->{migration.dst}; a merge must "
+            "drain the retiring shard into its left neighbour",
+        )
 
 
 class ShardSanitizer:
@@ -1219,6 +1274,18 @@ class OwnershipSanitizer:
         self.router.runtime.clear_owner_guard()
         for shard in self.router.shards:
             shard.runtime.clear_owner_guard()
+
+    def restamp(self) -> None:
+        """Re-bind guards to shard ids after a fleet split or merge.
+
+        Shard ids shift when the fleet grows or shrinks, so every
+        surviving engine's guard must be stamped with its new id and a
+        freshly built engine gains its guard here.  A retired engine
+        keeps its stale guard, which is harmless: it leaves the fleet
+        and is only ever touched again from the foreground thread.
+        """
+        for sid, shard in enumerate(self.router.shards):
+            shard.runtime.install_owner_guard(self._guard_for(sid))
 
     # -- guard construction ---------------------------------------------
     def _guard_for(self, token: object) -> Callable[[], None]:

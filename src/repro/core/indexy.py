@@ -126,6 +126,13 @@ class IndeXY:
     def insert(self, key: bytes, value: bytes) -> None:
         self.x.insert(key, value, dirty=True)
         self.stats.bump("inserts")
+        if self.sanitizer is not None:
+            # Un-mark a re-inserted key before any maintenance can run:
+            # ``_after_growth`` may fire a release cycle whose sweep
+            # samples the no-resurrection invariant, and a key
+            # legitimately written again after a delete (e.g. a range
+            # migration moving it back) is not a resurrection.
+            self.sanitizer.note_insert(key)
         self._after_growth()
         # Background maintenance only matters once unloading is on the
         # horizon: the scheduler's pacing clock starts at the low
@@ -133,7 +140,6 @@ class IndeXY:
         if self.budget.tracking_started:
             self.runtime.scheduler.tick(1)
         if self.sanitizer is not None:
-            self.sanitizer.note_insert(key)
             self.sanitizer.after_op()
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -206,12 +212,20 @@ class IndeXY:
     # ------------------------------------------------------------------
     # memory management
     # ------------------------------------------------------------------
-    def set_memory_limit(self, limit_bytes: int) -> None:
+    def set_memory_limit(self, limit_bytes: int, *, enforce: bool = False) -> None:
         """Adjust the Index X budget at runtime.
 
         Used when the index shares an overall memory limit with other
         consumers (the paper's TPC-C setup: the 30 GB workload limit minus
         what the other eight tables' resident indexes occupy).
+
+        ``enforce=True`` additionally runs a release cycle right away if
+        the resident index already sits over the *new* high watermark —
+        the live-shrink semantics the sharded budget rebalancer needs (a
+        shard losing budget must actually give the memory back, not wait
+        for its next insert).  The default keeps the historical
+        lazy behaviour: the new watermarks take effect on the next
+        growth, which existing callers (TPC-C refit) rely on.
         """
         self.config = replace(self.config, memory_limit_bytes=max(1, limit_bytes))
         self.budget.config = self.config
@@ -222,6 +236,13 @@ class IndeXY:
         self.release_policy.partition_depth = self.config.partition_depth
         if self._preclean_task is not None:
             self._preclean_task.pacing_interval_ops = self.config.preclean_interval_inserts
+        if enforce and self.budget.over_high_watermark(self.x.memory_bytes):
+            # Synchronous by design (the caller is giving memory back to a
+            # shared pool and must not return until it is released), but
+            # routed through the scheduler's inline seam like the
+            # backpressure fallback in _after_growth so the work is
+            # accounted as an inline maintenance run.
+            self.runtime.scheduler.run_inline(self._release_task)
 
     def _after_growth(self) -> None:
         memory = self.x.memory_bytes

@@ -8,7 +8,40 @@ frequent triggering of index unloading" (Section II-A).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.config import IndeXYConfig
+
+
+def proportional_split(total: int, weights: Sequence[float], floor: int) -> list[int]:
+    """Partition ``total`` bytes proportionally to ``weights``.
+
+    The heat-proportional budget arithmetic of the sharded serving
+    layer (DESIGN.md §11.4): each part receives ``floor`` bytes plus a
+    share of the remainder proportional to its weight, and the rounding
+    residue — the few bytes integer division drops — goes to the heaviest
+    part (first on ties), so the result always sums to exactly
+    ``total``.  A ``floor`` larger than the equal share clamps down to
+    it; non-positive total weight degrades to an equal split.  Pure
+    integer/deterministic: equal inputs give byte-equal outputs on any
+    platform.
+    """
+    n = len(weights)
+    if n < 1:
+        raise ValueError("need at least one part")
+    if total < n:
+        raise ValueError(f"cannot split {total} bytes into {n} parts of >= 1 byte")
+    floor = max(1, min(floor, total // n))
+    spread = total - floor * n
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0.0:
+        shares = [floor + spread // n] * n
+        heaviest = 0
+    else:
+        shares = [floor + int(spread * (weight / weight_sum)) for weight in weights]
+        heaviest = max(range(n), key=weights.__getitem__)
+    shares[heaviest] += total - sum(shares)
+    return shares
 
 
 class MemoryBudget:

@@ -8,6 +8,7 @@ live key-range migration), and EXPERIMENTS.md for the
 concurrent-serving methodology.
 """
 
+from repro.shard.budget import BudgetConfig, BudgetRebalancer
 from repro.shard.heat import ShardHeat
 from repro.shard.ownership import (
     OwnershipViolation,
@@ -27,6 +28,8 @@ from repro.shard.rebalance import RangeMigration, RebalanceConfig, Rebalancer
 from repro.shard.router import ShardRouter
 
 __all__ = [
+    "BudgetConfig",
+    "BudgetRebalancer",
     "HashPartitioner",
     "OwnershipViolation",
     "Partitioner",

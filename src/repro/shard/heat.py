@@ -129,6 +129,21 @@ class ShardHeat:
         self.service_ns = [s * factor for s in self.service_ns]
         self.queue_ns = [q * factor for q in self.queue_ns]
 
+    def resize(self, shards: int) -> None:
+        """Adopt a new fleet size after a shard split or merge.
+
+        Every counter — decayed *and* lifetime — restarts from zero: the
+        old per-index history describes shard identities that no longer
+        exist (ids shift on split/merge), so carrying any of it across
+        would attribute one shard's past to another.  Publishers of the
+        lifetime totals must re-base their seen counts to zero too.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.total_ops = [0] * shards
+        self.reset()
+
     def reset(self) -> None:
         """Forget all decayed load and samples (lifetime totals stay).
 

@@ -224,6 +224,44 @@ class WeightedRangePartitioner(Partitioner):
             )
         self.boundaries = bounds[:index] + (key,) + bounds[index + 1 :]
 
+    def split_shard(self, sid: int, key: int) -> None:
+        """Insert a boundary at ``key``, splitting shard ``sid`` in two.
+
+        After the swap shard ``sid`` owns ``[lo, key)`` and a new shard
+        ``sid + 1`` owns ``[key, hi)``; every shard id above ``sid``
+        shifts up by one.  Like :meth:`move_boundary` this is a
+        foreground-only whole-table swap (two attribute assignments, but
+        ``@shared_readonly`` forbids calling it while a dispatch is
+        armed, so no concurrent reader can observe the intermediate
+        state).  The caller owns the matching engine-list mutation.
+        """
+        bounds = self.boundaries
+        if not 0 <= sid < self.shards:
+            raise ValueError(f"shard id must be in [0, {self.shards}), got {sid}")
+        if not bounds[sid] < key < bounds[sid + 1]:
+            raise ValueError(
+                f"split key must fall strictly inside [{bounds[sid]}, "
+                f"{bounds[sid + 1]}), got {key}"
+            )
+        self.shards += 1
+        self.boundaries = self._validated(bounds[: sid + 1] + (key,) + bounds[sid + 1 :])
+
+    def merge_shards(self, sid: int) -> None:
+        """Remove interior boundary ``sid``: shards ``sid - 1`` and
+        ``sid`` become one (owning the union of their ranges) and every
+        shard id above ``sid`` shifts down by one.
+
+        Foreground-only whole-table swap; the caller owns the matching
+        engine-list mutation and must have drained shard ``sid`` first.
+        """
+        bounds = self.boundaries
+        if not 0 < sid < self.shards:
+            raise ValueError(
+                f"merge boundary must be interior (1..{self.shards - 1}), got {sid}"
+            )
+        self.shards -= 1
+        self.boundaries = self._validated(bounds[:sid] + bounds[sid + 1 :])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"WeightedRangePartitioner(shards={self.shards}, "

@@ -78,6 +78,24 @@ class RebalanceConfig:
             cooldown is how long the new placement is measured before
             the next decision — without it, stale pre-migration heat
             ping-pongs ranges back and forth ("flapping").
+        max_shards: fleet-growth ceiling for true shard *splits*
+            (DESIGN.md §11.4).  0 — the default — disables splits and
+            merges entirely, keeping the fixed-fleet behaviour (and its
+            byte-identical results).  When positive, a planning round
+            whose hottest shard carries more than ``split_load`` decayed
+            load spawns a fresh engine and drains the hot half of the
+            range to it, growing the fleet by one (up to this ceiling).
+        min_shards: fleet-shrink floor for shard *merges*; an idle fleet
+            never shrinks below it.
+        split_load: absolute decayed-load trigger for a split.  Unlike
+            the relative ``threshold`` (which compares shards against
+            each other), a split answers "is the whole fleet too small";
+            an absolute trigger keeps a uniformly loaded fleet growing
+            under pressure where max/mean never budges.  0 disables.
+        merge_load: when the fleet's *total* decayed load falls below
+            this, the coldest adjacent pair merges: the right shard
+            drains into the left and retires, returning its budget to
+            the pool.  0 disables.
 
     The default threshold and cooldown look conservative on purpose: a
     freshly migrated-into shard pays flush/compaction debt for the
@@ -98,6 +116,10 @@ class RebalanceConfig:
     sample_size: int = 64
     min_load: float = 32.0
     cooldown_rounds: int = 8
+    max_shards: int = 0
+    min_shards: int = 1
+    split_load: float = 0.0
+    merge_load: float = 0.0
 
     def __post_init__(self) -> None:
         if self.threshold <= 1.0:
@@ -112,6 +134,14 @@ class RebalanceConfig:
             )
         if self.cooldown_rounds < 0:
             raise ValueError(f"cooldown_rounds must be >= 0, got {self.cooldown_rounds}")
+        if self.max_shards < 0:
+            raise ValueError(f"max_shards must be >= 0, got {self.max_shards}")
+        if self.min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {self.min_shards}")
+        if self.split_load < 0.0:
+            raise ValueError(f"split_load must be >= 0, got {self.split_load}")
+        if self.merge_load < 0.0:
+            raise ValueError(f"merge_load must be >= 0, got {self.merge_load}")
 
     @classmethod
     def from_spec(cls, spec: str) -> "RebalanceConfig":
@@ -133,6 +163,10 @@ class RebalanceConfig:
             "samples": ("sample_size", int),
             "min_load": ("min_load", float),
             "cooldown": ("cooldown_rounds", int),
+            "max_shards": ("max_shards", int),
+            "min_shards": ("min_shards", int),
+            "split_load": ("split_load", float),
+            "merge_load": ("merge_load", float),
         }
         chosen: dict[str, float | int] = {}
         for part in spec.split("+"):
@@ -199,9 +233,12 @@ class Rebalancer:
         self.migrations_started = 0
         self.migrations_completed = 0
         self.keys_moved = 0
+        self.splits = 0
+        self.merges = 0
         self._published_ops = [0] * router.num_shards
         self._cooldown = 0
         self._pending_move: tuple[int, int] | None = None
+        self._pending_fleet: tuple[str, int] | None = None
 
     # -- the scheduler runners ---------------------------------------------
     def run_once(self) -> None:
@@ -243,6 +280,80 @@ class Rebalancer:
         if mean > 0:
             stats.record_max("heat_imbalance_x100_peak", int(max(loads) / mean * 100))
 
+    # -- fleet elasticity: true splits and merges --------------------------
+    def fleet_changed(self, shards: int) -> None:
+        """Re-base per-shard publisher state after a shard split/merge.
+
+        The heat ledger restarts from zero on a fleet-size change
+        (shard ids shift), so the stats-bus publisher's seen counts must
+        restart with it — a stale seen count would either suppress or
+        double-publish the next delta.
+        """
+        self._published_ops = [0] * shards
+
+    def _maybe_split(self, loads: list[float]) -> bool:
+        """Grow the fleet: split the hottest shard when it carries more
+        than ``split_load`` decayed load and headroom remains.
+
+        The split key is the busy-time median of the hot shard's recent
+        keys, so each half inherits roughly half the observed load; the
+        upper half drains to a freshly built engine through the standard
+        migration path (the router owns the mechanics).
+        """
+        config = self.config
+        n = len(loads)
+        if config.split_load <= 0.0 or config.max_shards <= n:
+            return False
+        hot = max(range(n), key=loads.__getitem__)
+        if loads[hot] <= config.split_load:
+            return False
+        router = self.router
+        partitioner = router.partitioner
+        assert isinstance(partitioner, WeightedRangePartitioner)
+        lo, hi = partitioner.shard_range(hot)
+        if hi - lo < 2:
+            return False  # single-key range: nothing to split
+        if router.shard_budgets[hot] < 2 * router.budget_floor:
+            return False  # cannot fund both halves at the structural floor
+        # Persistence filter, as for boundary moves: structural changes
+        # are the most expensive decision the planner makes, so the same
+        # shard must win two consecutive rounds before the fleet grows.
+        if self._pending_fleet != ("split", hot):
+            self._pending_fleet = ("split", hot)
+            return True
+        self._pending_fleet = None
+        heat = router.heat
+        split = heat.split_key(hot, 0.5) if heat is not None else None
+        if split is None:
+            split = (lo + hi) // 2
+        split = min(max(split, lo + 1), hi - 1)
+        router.begin_split(hot, split)
+        self.splits += 1
+        return True
+
+    def _maybe_merge(self, loads: list[float]) -> bool:
+        """Shrink the fleet: when total decayed load falls below
+        ``merge_load``, retire the colder shard of the coldest adjacent
+        pair into its left neighbour, returning its budget to the pool.
+        """
+        config = self.config
+        n = len(loads)
+        if config.merge_load <= 0.0 or n < 2 or n <= config.min_shards:
+            return False
+        heat = self.router.heat
+        if heat is None or sum(heat.total_ops) == 0:
+            return False  # never-used fleet: nothing measured yet
+        if sum(loads) >= config.merge_load:
+            return False
+        pair = min(range(n - 1), key=lambda sid: loads[sid] + loads[sid + 1])
+        if self._pending_fleet != ("merge", pair + 1):
+            self._pending_fleet = ("merge", pair + 1)
+            return True
+        self._pending_fleet = None
+        self.router.begin_merge(pair + 1)
+        self.merges += 1
+        return True
+
     # -- planning ----------------------------------------------------------
     def _maybe_start(self) -> None:
         router = self.router
@@ -251,8 +362,15 @@ class Rebalancer:
         if heat is None or not isinstance(partitioner, WeightedRangePartitioner):
             return
         loads = heat.load()
+        # Merge is checked before the min_load gate: an idle fleet is
+        # exactly the one whose total load sits below every other
+        # trigger.  Split and boundary diffusion both require real load.
+        if self._maybe_merge(loads):
+            return
         total = sum(loads)
         if total < self.config.min_load:
+            return
+        if self._maybe_split(loads):
             return
         mean = total / len(loads)
         # max/mean is bounded by the shard count (one shard carrying
@@ -351,9 +469,15 @@ class Rebalancer:
             self.keys_moved += len(keys)
             router.runtime.stats.bump("rebalance_keys_moved", len(keys))
         if drained:
+            retiring = router.retiring is not None
             router.migration = None
             self.migrations_completed += 1
             router.runtime.stats.bump("rebalance_migrations_completed")
+            if retiring:
+                # The drained range belonged to a merging shard: move
+                # its one-key sliver and retire the engine (the router
+                # owns the structural mutation, including heat resize).
+                router.finish_merge()
             # The heat ledger described the pre-migration placement;
             # measure the new one from scratch before deciding again.
             heat = router.heat
@@ -361,9 +485,11 @@ class Rebalancer:
                 heat.reset()
             self._cooldown = self.config.cooldown_rounds
             self._pending_move = None
+            self._pending_fleet = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Rebalancer(started={self.migrations_started}, "
-            f"completed={self.migrations_completed}, moved={self.keys_moved})"
+            f"completed={self.migrations_completed}, moved={self.keys_moved}, "
+            f"splits={self.splits}, merges={self.merges})"
         )

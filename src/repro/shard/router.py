@@ -47,6 +47,9 @@ from heapq import merge as heapq_merge
 from operator import itemgetter
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
+from repro.art.keys import decode_int
+from repro.core.membudget import proportional_split
+from repro.shard.budget import BudgetConfig, BudgetRebalancer
 from repro.shard.heat import ShardHeat
 from repro.shard.partition import (
     Partitioner,
@@ -90,6 +93,7 @@ class ShardRouter(KVSystem):
         thread_model: ThreadModel | None = None,
         debug_checks: bool | None = None,
         rebalance: RebalanceConfig | str | bool | None = None,
+        budget: BudgetConfig | str | bool | None = None,
         **system_kwargs: Any,
     ) -> None:
         # The inherited runtime is dormant bookkeeping only: the router
@@ -113,30 +117,48 @@ class ShardRouter(KVSystem):
             from repro.check.flags import sanitize_enabled
 
             debug_checks = sanitize_enabled()
-        # Deferred import: the factory registers this class by name, so a
-        # module-level import either way would be circular.
-        from repro.systems.factory import build_system
-
+        # Shard construction goes through the factory; splits rebuild
+        # engines with the exact same recipe, so the arguments are kept.
+        self._shard_recipe: dict[str, Any] = dict(
+            page_size=page_size,
+            costs=costs,
+            thread_model=thread_model,
+            debug_checks=debug_checks,
+            **system_kwargs,
+        )
         per_shard = max(1, memory_limit_bytes // shards)
         self.shards: list[KVSystem] = [
-            build_system(
-                base_system,
-                memory_limit_bytes=per_shard,
-                page_size=page_size,
-                costs=costs,
-                thread_model=thread_model,
-                debug_checks=debug_checks,
-                **system_kwargs,
-            )
-            for __ in range(shards)
+            self._build_shard(per_shard) for __ in range(shards)
         ]
         self.name = f"Sharded-{base_system}x{shards}"
+        # Budget pool: the equal split is the opening book; the budget
+        # rebalancer (and shard splits/merges) re-partition this total,
+        # and ``sum(shard_budgets) == total_memory_limit`` always holds.
+        # ``budget_floor`` is the structural per-shard minimum — two
+        # buffer-pool pages, the smallest budget every registered system
+        # can be resized to.
+        self.total_memory_limit = per_shard * shards
+        self.shard_budgets: list[int] = [per_shard] * shards
+        self.budget_floor = 2 * page_size
         # Elastic resharding state: heat ledger, in-flight migration,
-        # and the paced rebalancer task.  All three are foreground-only.
+        # pending merge retire, and the paced maintenance tasks.  All
+        # are foreground-only.
         self.heat: ShardHeat | None = None
         self.migration: RangeMigration | None = None
+        self.retiring: int | None = None
         self.rebalancer: Rebalancer | None = None
+        self.budgeter: BudgetRebalancer | None = None
+        #: structural fleet changes since last drained by the harness:
+        #: ("split", sid) after shard ``sid`` split (new shard at
+        #: ``sid + 1``), ("merge", sid) after shard ``sid`` retired into
+        #: ``sid - 1``.  Callers tracking per-shard state pop these.
+        self.fleet_events: list[tuple[str, int]] = []
         config = RebalanceConfig.coerce(rebalance)
+        budget_config = BudgetConfig.coerce(budget)
+        if config is not None or budget_config is not None:
+            heat_decay = config.decay if config is not None else 0.5
+            heat_samples = config.sample_size if config is not None else 64
+            self.heat = ShardHeat(shards, decay=heat_decay, sample_size=heat_samples)
         if config is not None:
             if not isinstance(self.partitioner, WeightedRangePartitioner):
                 raise ValueError(
@@ -144,9 +166,6 @@ class ShardRouter(KVSystem):
                     "partitioner='weighted' (got "
                     f"{type(self.partitioner).__name__})"
                 )
-            self.heat = ShardHeat(
-                shards, decay=config.decay, sample_size=config.sample_size
-            )
             self.rebalancer = Rebalancer(self, config)
             self.runtime.scheduler.register(
                 "rebalance",
@@ -163,6 +182,18 @@ class ShardRouter(KVSystem):
                 pacing_interval_ops=config.drain_interval_ops,
                 periodic=True,
             )
+        if budget_config is not None:
+            # With no rebalancer registered the budget task is the only
+            # heat consumer and therefore owns the per-round decay.
+            self.budgeter = BudgetRebalancer(
+                self, budget_config, owns_decay=config is None
+            )
+            self.runtime.scheduler.register(
+                "budget",
+                self.budgeter.run_once,
+                pacing_interval_ops=budget_config.interval_ops,
+                periodic=True,
+            )
         self.sanitizer: Optional[Any] = None
         self.ownership: Optional[Any] = None
         if debug_checks:
@@ -170,6 +201,18 @@ class ShardRouter(KVSystem):
 
             self.sanitizer = ShardSanitizer(self)
             self.ownership = OwnershipSanitizer(self)
+
+    def _build_shard(self, memory_limit_bytes: int) -> KVSystem:
+        """Build one shard engine from the stored construction recipe."""
+        # Deferred import: the factory registers this class by name, so a
+        # module-level import either way would be circular.
+        from repro.systems.factory import build_system
+
+        return build_system(
+            self.base_system,
+            memory_limit_bytes=memory_limit_bytes,
+            **self._shard_recipe,
+        )
 
     @property
     def num_shards(self) -> int:
@@ -398,6 +441,173 @@ class ShardRouter(KVSystem):
         maintenance seam.
         """
         self.runtime.scheduler.tick(ops)
+
+    # ------------------------------------------------------------------
+    # budget pool: live re-splitting of the total memory limit
+    # ------------------------------------------------------------------
+    def apply_budgets(self, targets: Sequence[int]) -> None:
+        """Re-partition the budget pool to ``targets`` (bytes per shard).
+
+        The targets must cover every shard and sum to exactly the pool
+        total — budget moves between shards, it is never created or
+        destroyed.  Each changed shard is resized through its live
+        ``set_memory_limit`` seam, so cache contents survive and shrinks
+        evict through the policy.
+        """
+        targets = list(targets)
+        if len(targets) != self.num_shards:
+            raise ValueError(
+                f"got {len(targets)} budget targets for {self.num_shards} shards"
+            )
+        if sum(targets) != self.total_memory_limit:
+            raise ValueError(
+                f"budget targets sum to {sum(targets)}, "
+                f"pool holds {self.total_memory_limit}"
+            )
+        shards = self.shards
+        budgets = self.shard_budgets
+        for sid, target in enumerate(targets):
+            if target < 1:
+                raise ValueError(f"shard {sid} budget must be >= 1, got {target}")
+            if target != budgets[sid]:
+                shards[sid].set_memory_limit(target)
+                budgets[sid] = target
+
+    def set_memory_limit(self, memory_limit_bytes: int) -> None:
+        """Grow or shrink the *total* pool, preserving current ratios.
+
+        The new total is split proportionally to the budgets the fleet
+        holds right now (heat already shaped those), floored at the
+        structural per-shard minimum.
+        """
+        targets = proportional_split(
+            memory_limit_bytes,
+            [float(b) for b in self.shard_budgets],
+            self.budget_floor,
+        )
+        self.total_memory_limit = memory_limit_bytes
+        self.apply_budgets(targets)
+
+    # ------------------------------------------------------------------
+    # fleet elasticity: true shard splits and merges
+    # ------------------------------------------------------------------
+    def begin_split(self, sid: int, split_key: int) -> None:
+        """Split shard ``sid`` at ``split_key``: grow the fleet by one.
+
+        A fresh engine is built (index ``sid + 1``) with half the source
+        shard's budget, the routing table gains the boundary, and the
+        upper half ``[split_key, hi)`` drains through the normal
+        migration path — the split is a migration whose destination
+        happens to be brand new.  Descriptor-publish-then-boundary-swap
+        ordering matches the rebalancer: once the table routes a key to
+        the new shard, the migration descriptor is already in place, so
+        the double-read covers keys not yet copied.
+        """
+        partitioner = self.partitioner
+        if not isinstance(partitioner, WeightedRangePartitioner):
+            raise ValueError("shard splits need a weighted range partitioner")
+        if self.migration is not None or self.retiring is not None:
+            raise RuntimeError("cannot split while a migration or merge is in flight")
+        bounds = partitioner.boundaries
+        lo, hi = bounds[sid], bounds[sid + 1]
+        if not lo < split_key < hi:
+            raise ValueError(
+                f"split key {split_key} outside shard {sid}'s open range ({lo}, {hi})"
+            )
+        budgets = self.shard_budgets
+        if budgets[sid] < 2 * self.budget_floor:
+            raise ValueError(
+                f"shard {sid} budget {budgets[sid]} cannot fund two shards "
+                f"of >= {self.budget_floor} bytes"
+            )
+        give = budgets[sid] // 2
+        keep = budgets[sid] - give
+        engine = self._build_shard(give)
+        self.shards.insert(sid + 1, engine)
+        budgets[sid] = keep
+        budgets.insert(sid + 1, give)
+        self.shards[sid].set_memory_limit(keep)
+        # Publish the drain descriptor *before* the boundary swap: from
+        # the swap on, keys in [split_key, hi) route to the new shard,
+        # and the descriptor makes those reads fall back to the source.
+        self.migration = RangeMigration(src=sid, dst=sid + 1, lo=split_key, hi=hi)
+        partitioner.split_shard(sid, split_key)
+        self._after_fleet_change("split", sid)
+
+    def begin_merge(self, sid: int) -> None:
+        """Retire shard ``sid`` into its left neighbour ``sid - 1``.
+
+        The bulk of the range ``[lo, hi - 1)`` drains through the normal
+        migration path after the boundary swap hands it to the
+        neighbour; a one-key sliver ``[hi - 1, hi)`` stays behind so the
+        boundary table remains strictly increasing mid-drain, and
+        :meth:`finish_merge` folds it in when the drain completes.
+        """
+        partitioner = self.partitioner
+        if not isinstance(partitioner, WeightedRangePartitioner):
+            raise ValueError("shard merges need a weighted range partitioner")
+        if self.migration is not None or self.retiring is not None:
+            raise RuntimeError("cannot merge while a migration or merge is in flight")
+        if not 0 < sid < self.num_shards:
+            raise ValueError(
+                f"merge retires a shard into its left neighbour; "
+                f"sid must be in [1, {self.num_shards}), got {sid}"
+            )
+        bounds = partitioner.boundaries
+        lo, hi = bounds[sid], bounds[sid + 1]
+        self.retiring = sid
+        if hi - lo >= 2:
+            self.migration = RangeMigration(src=sid, dst=sid - 1, lo=lo, hi=hi - 1)
+            partitioner.move_boundary(sid, hi - 1)
+        else:
+            # Single-key shard: nothing to drain in bulk, fold directly.
+            self.finish_merge()
+
+    def finish_merge(self) -> None:
+        """Complete a retire: fold the sliver, drop the shard, pool budget.
+
+        Called by the rebalancer's drain task once the bulk migration
+        finished (or directly by :meth:`begin_merge` for a single-key
+        shard).  The retiring shard's residual range moves to the
+        neighbour with insert-if-absent, the boundary disappears, the
+        engine leaves the fleet, and its budget returns to the
+        neighbour so the pool total is conserved.
+        """
+        sid = self.retiring
+        if sid is None:
+            raise RuntimeError("finish_merge without a retiring shard")
+        if self.migration is not None:
+            raise RuntimeError("finish_merge while the bulk drain is still in flight")
+        partitioner = self.partitioner
+        assert isinstance(partitioner, WeightedRangePartitioner)
+        bounds = partitioner.boundaries
+        lo, hi = bounds[sid], bounds[sid + 1]
+        src = self.shards[sid]
+        dst_engine = self.shards[sid - 1]
+        for key_bytes, value in src.scan(lo, hi - lo):
+            key = decode_int(key_bytes)
+            if lo <= key < hi and dst_engine.read(key) is None:
+                dst_engine.insert(key, value)
+        self.retiring = None
+        partitioner.merge_shards(sid)
+        self.shards.pop(sid)
+        freed = self.shard_budgets.pop(sid)
+        self.shard_budgets[sid - 1] += freed
+        self.shards[sid - 1].set_memory_limit(self.shard_budgets[sid - 1])
+        self._after_fleet_change("merge", sid)
+
+    def _after_fleet_change(self, kind: str, sid: int) -> None:
+        """Re-base every per-shard ledger after a split or merge."""
+        shards = self.num_shards
+        self.name = f"Sharded-{self.base_system}x{shards}"
+        if self.heat is not None:
+            self.heat.resize(shards)
+        if self.rebalancer is not None:
+            self.rebalancer.fleet_changed(shards)
+        if self.ownership is not None:
+            self.ownership.restamp()
+        self.fleet_events.append((kind, sid))
+        self.runtime.stats.bump(f"fleet_{kind}s")
 
     # ------------------------------------------------------------------
     # lifecycle / accounting

@@ -144,6 +144,24 @@ class ArtBPlusSystem(KVSystem):
         self.index.flush()
         self.y_tree.flush_all()
 
+    def set_memory_limit(self, memory_limit_bytes: int) -> None:
+        """Re-budget the live system: Index X watermarks + transfer pool.
+
+        Both consumers are refit with the constructor's own formulas so
+        a system resized to limit ``L`` budgets exactly like one built
+        at ``L``; the X side enforces immediately (a shrink triggers a
+        release cycle right away) and the pool resizes in place, dirty
+        victims flushing through the normal eviction path.
+        """
+        self.index.set_memory_limit(memory_limit_bytes, enforce=True)
+        page_size = self.y_tree.pool.config.page_size
+        self.y_tree.pool.resize(max(24 * page_size, memory_limit_bytes // 8))
+
+    def cache_hit_stats(self) -> tuple[float, float]:
+        """Index X residency plus the transfer pool's page-hit ledger."""
+        hits = float(self.stats["x_hits"] + self.stats["pool_hits"])
+        return hits, float(self.stats["pool_misses"])
+
     @property
     def memory_bytes(self) -> int:
         return self.index.memory_bytes

@@ -113,6 +113,35 @@ class ArtLsmSystem(KVSystem):
         self.index.flush()
         self.index.y.flush()  # memtable -> SSTable: a real checkpoint
 
+    def set_memory_limit(self, memory_limit_bytes: int) -> None:
+        """Re-budget the live system: Index X watermarks plus LSM caches.
+
+        Both consumers are refit with the constructor's own formulas so
+        a system resized to limit ``L`` budgets exactly like one built
+        at ``L``; the X side enforces immediately (a shrink triggers a
+        release cycle right away, not on the next insert), and the LSM
+        side resizes through :meth:`LSMStore.resize_caches`, evicting
+        via the cache policies so surviving contents stay warm.
+        """
+        self.index.set_memory_limit(memory_limit_bytes, enforce=True)
+        store = self.index.y
+        assert isinstance(store, LSMStore)
+        store.resize_caches(
+            max(64 * 1024, memory_limit_bytes // 8),
+            memtable_bytes=max(32 * 1024, memory_limit_bytes // 20),
+        )
+
+    def cache_hit_stats(self) -> tuple[float, float]:
+        """Index X residency plus the LSM block/row cache ledgers."""
+        store = self.index.y
+        assert isinstance(store, LSMStore)
+        hits = float(self.stats["x_hits"]) + store.block_cache.hits
+        misses = float(store.block_cache.misses)
+        if store.row_cache is not None:
+            hits += store.row_cache.hits
+            misses += store.row_cache.misses
+        return hits, misses
+
     @property
     def memory_bytes(self) -> int:
         return self.index.memory_bytes

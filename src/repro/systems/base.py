@@ -127,6 +127,29 @@ class KVSystem:
     def flush(self) -> None:
         """Persist everything (end-of-run checkpoint)."""
 
+    # -- memory budget -----------------------------------------------------
+    def set_memory_limit(self, memory_limit_bytes: int) -> None:
+        """Re-budget the live system to a new memory limit.
+
+        The seam the sharded budget rebalancer resizes fleets through
+        (DESIGN.md §11.4): contents must survive, shrinks must evict
+        through the system's own cache/buffer policies, and the call
+        itself charges nothing — evicting cached copies is bookkeeping,
+        the simulated cost lands on the later re-reads it causes.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot be re-budgeted live")
+
+    def cache_hit_stats(self) -> tuple[float, float]:
+        """(hits, misses) accumulated across the system's read caches.
+
+        Serving harnesses report per-window hit rates from deltas of
+        these — the observable a memory-budget change actually moves.
+        The base implementation reads the buffer-pool bus counters
+        (the cache layer of the B+-backed systems); LSM-backed systems
+        override with their block/row cache ledgers.
+        """
+        return float(self.stats["pool_hits"]), float(self.stats["pool_misses"])
+
     # -- accounting --------------------------------------------------------
     @property
     def memory_bytes(self) -> int:

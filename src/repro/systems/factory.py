@@ -145,37 +145,62 @@ def registered_systems() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
-def split_rebalance_spec(spec: str) -> tuple[str, str | None]:
-    """Split ``rebalance=...`` parts out of a system spec.
+#: ``Sharded``-only spec knobs routed to router keyword arguments rather
+#: than cache-policy layers: elastic resharding and the heat-proportional
+#: budget layer.
+_ROUTER_SPEC_KNOBS = ("rebalance", "budget")
 
-    ``Sharded@rebalance=on`` and
-    ``Sharded@block=s3fifo,rebalance=threshold:1.3+interval:128`` both
-    route their ``rebalance`` value (the grammar of
-    :meth:`~repro.shard.rebalance.RebalanceConfig.from_spec`) to the
-    router's ``rebalance=`` argument; the remaining parts stay a normal
-    cache-policy spec.  Only ``Sharded`` accepts the knob — it names a
-    router mechanism no single-engine system has.
+
+def split_router_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """Split router-knob parts (``rebalance=``, ``budget=``) out of a spec.
+
+    ``Sharded@rebalance=on``, ``Sharded@budget=floor:0.1`` and
+    ``Sharded@block=s3fifo,rebalance=threshold:1.3,budget=on`` all route
+    their knob values (the grammars of
+    :meth:`~repro.shard.rebalance.RebalanceConfig.from_spec` and
+    :meth:`~repro.shard.budget.BudgetConfig.from_spec`) to the matching
+    router keyword argument; the remaining parts stay a normal
+    cache-policy spec.  Only ``Sharded`` accepts these knobs — they name
+    router mechanisms no single-engine system has.
     """
     name, sep, params = spec.partition("@")
     if not sep:
-        return spec, None
+        return spec, {}
     kept: list[str] = []
-    rebalance: str | None = None
+    knobs: dict[str, str] = {}
     for part in params.split(","):
         key, eq, value = part.partition("=")
-        if eq and key.strip() == "rebalance":
+        key = key.strip()
+        if eq and key in _ROUTER_SPEC_KNOBS:
             if name != "Sharded":
                 raise ValueError(
-                    f"system {name!r} does not rebalance; 'rebalance=' is a "
+                    f"system {name!r} has no router; {key + '='!r} is a "
                     "'Sharded' spec knob"
                 )
-            if rebalance is not None:
-                raise ValueError(f"'rebalance' named twice in spec {spec!r}")
-            rebalance = value.strip()
+            if key in knobs:
+                raise ValueError(f"{key!r} named twice in spec {spec!r}")
+            knobs[key] = value.strip()
         elif part.strip():
             kept.append(part)
     remainder = name + (f"@{','.join(kept)}" if kept else "")
-    return remainder, rebalance
+    return remainder, knobs
+
+
+def split_rebalance_spec(spec: str) -> tuple[str, str | None]:
+    """Compatibility wrapper: the ``rebalance=`` part of a system spec.
+
+    Prefer :func:`split_router_spec`, which extracts every router knob.
+    Raises if the spec also carries other router knobs this wrapper
+    would silently drop.
+    """
+    remainder, knobs = split_router_spec(spec)
+    extra = sorted(set(knobs) - {"rebalance"})
+    if extra:
+        raise ValueError(
+            f"spec {spec!r} carries router knobs {extra} this helper cannot "
+            "return; use split_router_spec"
+        )
+    return remainder, knobs.get("rebalance")
 
 
 def parse_system_spec(spec: str) -> tuple[str, CachePolicyConfig | None]:
@@ -220,17 +245,20 @@ def build_system(
     be given alongside a spec).  ``Sharded`` specs additionally accept a
     ``rebalance=`` part (e.g. ``Sharded@rebalance=on`` or
     ``Sharded@rebalance=threshold:1.3+interval:128``) that configures
-    the router's elastic-resharding layer — equivalent to passing
-    ``rebalance=`` directly, which must not be given alongside it.
+    the router's elastic-resharding layer, and a ``budget=`` part (e.g.
+    ``Sharded@budget=on`` or ``Sharded@budget=floor:0.1+interval:256``)
+    that configures its heat-proportional budget layer — each equivalent
+    to passing the keyword directly, which must not be given alongside
+    the spec form.
     """
-    name, spec_rebalance = split_rebalance_spec(name)
-    if spec_rebalance is not None:
-        if kwargs.get("rebalance") is not None:
+    name, router_knobs = split_router_spec(name)
+    for knob, spec_value in router_knobs.items():
+        if kwargs.get(knob) is not None:
             raise ValueError(
-                "system spec already selects a rebalance config; "
-                "drop the explicit rebalance argument"
+                f"system spec already selects a {knob} config; "
+                f"drop the explicit {knob} argument"
             )
-        kwargs["rebalance"] = spec_rebalance
+        kwargs[knob] = spec_value
     name, spec_policies = parse_system_spec(name)
     if spec_policies is not None:
         if kwargs.get("cache_policies") is not None:

@@ -179,7 +179,7 @@ def test_factory_split_rebalance_spec():
     name, spec = split_rebalance_spec("Sharded@block=s3fifo,rebalance=threshold:1.3")
     assert name == "Sharded@block=s3fifo"
     assert spec == "threshold:1.3"
-    with pytest.raises(ValueError, match="does not rebalance"):
+    with pytest.raises(ValueError, match="has no router"):
         split_rebalance_spec("ART-LSM@rebalance=on")
     with pytest.raises(ValueError, match="named twice"):
         split_rebalance_spec("Sharded@rebalance=on,rebalance=off")
